@@ -1,0 +1,113 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Set-filter error probability: the Section VI-F traffic/recall dial.
+2. Binary-join false positives versus attribute count: the paper's
+   explanation for the growing FSF-vs-multi-join margin ("binary joins
+   are equivalent to multi-joins with two attributes, but become
+   approximations for multi-joins over three attributes; the quality of
+   the approximation degrades with increasing numbers of attributes").
+"""
+
+import pytest
+
+from repro.baselines.multijoin import multijoin_approach
+from repro.core.filter_split_forward import FSFConfig, filter_split_forward_approach
+from repro.experiments.runner import REPLAY_START, run_point
+from repro.metrics.oracle import compute_truth
+from repro.network.topology import build_deployment
+from repro.workload.scenarios import SMALL
+from repro.workload.sensorscope import ReplayConfig, build_replay
+from repro.workload.subscriptions import (
+    SubscriptionWorkloadConfig,
+    generate_subscriptions,
+)
+
+
+def _small_arena(n_subs):
+    deployment = SMALL.deployment()
+    replay = build_replay(deployment, SMALL.replay)
+    workload = generate_subscriptions(
+        deployment,
+        replay.medians,
+        SMALL.workload_config(n_subs),
+        spreads=replay.spreads,
+    )
+    truths = compute_truth(
+        [p.subscription for p in workload],
+        deployment,
+        replay.shifted(REPLAY_START),
+    )
+    return deployment, replay, workload, truths
+
+
+def test_ablation_error_probability(benchmark):
+    """Sweeping the probabilistic filter: exact filtering is the
+    recall-optimal anchor; aggressive sampling trades recall for the
+    same or less traffic, never more."""
+    deployment, replay, workload, truths = _small_arena(60)
+
+    def sweep():
+        rows = {}
+        for label, config in (
+            ("exact", FSFConfig(exact_filtering=True)),
+            ("eps=0.05", FSFConfig(error_probability=0.05)),
+            ("eps=0.5,gap=0.5", FSFConfig(error_probability=0.5, gap_fraction=0.5)),
+        ):
+            result = run_point(
+                filter_split_forward_approach(config),
+                deployment,
+                workload,
+                replay,
+                truths=truths,
+            )
+            rows[label] = result
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for label, r in rows.items():
+        print(
+            f"{label:16s} sub={r.subscription_load:6d} "
+            f"evt={r.event_load:7d} recall={r.recall:.3f}"
+        )
+    assert rows["eps=0.5,gap=0.5"].recall <= rows["exact"].recall
+    assert (
+        rows["eps=0.5,gap=0.5"].subscription_load
+        <= rows["exact"].subscription_load
+    )
+    benchmark.extra_info["recalls"] = {k: r.recall for k, r in rows.items()}
+
+
+def test_ablation_false_positives_vs_attribute_count(benchmark):
+    """Multi-join false-positive rate grows with the join width."""
+    deployment = build_deployment(60, 10, seed=3)
+    replay = build_replay(deployment, ReplayConfig(rounds=16, seed=3))
+
+    def sweep():
+        rates = {}
+        for k in (2, 3, 5):
+            workload = generate_subscriptions(
+                deployment,
+                replay.medians,
+                SubscriptionWorkloadConfig(
+                    n_subscriptions=40, attrs_min=k, attrs_max=k, seed=9
+                ),
+                spreads=replay.spreads,
+            )
+            truths = compute_truth(
+                [p.subscription for p in workload],
+                deployment,
+                replay.shifted(REPLAY_START),
+            )
+            result = run_point(
+                multijoin_approach(), deployment, workload, replay, truths=truths
+            )
+            rates[k] = result.false_positive_rate
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nmulti-join false-positive rate by attribute count: {rates}")
+    # Binary joins are exact for 2 attributes, approximate beyond.
+    assert rates[2] <= rates[3] + 0.02
+    assert rates[5] > rates[2]
+    benchmark.extra_info["fp_rates"] = rates

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the hot inner loops (real repeated timing)."""
+
+import numpy as np
+
+from repro.metrics.oracle import EventIndex
+from repro.model import (
+    IdentifiedSubscription,
+    Interval,
+    Location,
+    SimpleEvent,
+    matches_involving,
+    operator_from_identified,
+)
+from repro.network.eventstore import EventStore
+from repro.subsumption import ProbabilisticSetFilter
+
+
+def _operator(width=5):
+    ranges = {f"d{i}": ("t", 0.0, 50.0) for i in range(width)}
+    return operator_from_identified(
+        IdentifiedSubscription.from_ranges("s", ranges, 5.0), "n"
+    )
+
+
+def _events(n_per_sensor=50, width=5):
+    rng = np.random.default_rng(0)
+    events = []
+    for i in range(width):
+        for seq in range(n_per_sensor):
+            events.append(
+                SimpleEvent(
+                    f"d{i}",
+                    "t",
+                    Location(0, 0),
+                    float(rng.uniform(0, 60)),
+                    10.0 * seq + float(rng.uniform(0, 4)),
+                    seq,
+                )
+            )
+    return events
+
+
+def test_bench_setfilter_decide(benchmark):
+    rng = np.random.default_rng(1)
+    f = ProbabilisticSetFilter(0.01, 0.05, rng=rng)
+    target = tuple(Interval(10, 40) for _ in range(5))
+    cover = [
+        tuple(Interval(float(lo), float(lo) + 35.0) for lo in rng.uniform(0, 15, 5))
+        for _ in range(30)
+    ]
+    benchmark(f.is_subsumed, target, cover)
+
+
+def test_bench_setfilter_product_mode(benchmark):
+    rng = np.random.default_rng(2)
+    f = ProbabilisticSetFilter(0.01, 0.05, rng=rng)
+    target = tuple(Interval(10, 40) for _ in range(5))
+    per_dim = [
+        [Interval(float(lo), float(lo) + 20.0) for lo in rng.uniform(0, 25, 12)]
+        for _ in range(5)
+    ]
+    benchmark(f.is_product_subsumed, target, per_dim)
+
+
+def test_bench_matches_involving(benchmark):
+    op = _operator()
+    idx = EventIndex(_events())
+    probe = SimpleEvent("d0", "t", Location(0, 0), 25.0, 255.0, 99)
+    benchmark(matches_involving, op, idx, probe)
+
+
+def test_bench_eventstore_insert_and_query(benchmark):
+    events = _events(n_per_sensor=100)
+
+    def run():
+        store = EventStore(validity=50.0)
+        now = 0.0
+        for e in events:
+            now = max(now, e.timestamp)
+            store.add(e, now)
+        return sum(
+            len(store.events_for_sensor("d0", t, t + 5.0)) for t in range(0, 900, 10)
+        )
+
+    benchmark(run)
+
+
+def test_bench_operator_coverage_check(benchmark):
+    wide = _operator()
+    narrow = operator_from_identified(
+        IdentifiedSubscription.from_ranges(
+            "n", {f"d{i}": ("t", 10.0, 40.0) for i in range(5)}, 5.0
+        ),
+        "n",
+    )
+    benchmark(wide.covers, narrow)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Head-to-head comparison of the five approaches on one workload.
+
+Runs the paper's small-scale deployment (60 nodes, 10 base stations)
+with one batch of subscriptions under each of: centralized, naive,
+distributed operator placement, distributed multi-join, and
+Filter-Split-Forward — then prints the Section VI metrics: subscription
+load, publication (event) load, end-user recall and the multi-join
+baseline's false-positive rate.
+
+Run:  python examples/approach_comparison.py [n_subscriptions]
+"""
+
+import sys
+
+from repro.experiments.runner import REPLAY_START, run_point
+from repro.metrics.oracle import compute_truth
+from repro.protocols.registry import all_approaches
+from repro.workload.scenarios import SMALL
+from repro.workload.sensorscope import build_replay
+from repro.workload.subscriptions import generate_subscriptions
+
+n_subs = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+
+deployment = SMALL.deployment()
+replay = build_replay(deployment, SMALL.replay)
+workload = generate_subscriptions(
+    deployment, replay.medians, SMALL.workload_config(n_subs), spreads=replay.spreads
+)
+truths = compute_truth(
+    [p.subscription for p in workload], deployment, replay.shifted(REPLAY_START)
+)
+total_true = sum(t.n_instances for t in truths.values())
+
+print(f"small-scale deployment: {deployment.n_nodes} nodes, "
+      f"{len(deployment.sensors)} sensors, {n_subs} subscriptions, "
+      f"{replay.n_events} replayed events, {total_true} true match instances\n")
+
+header = f"{'approach':32s} {'sub load':>9s} {'event load':>11s} {'recall':>7s} {'FP rate':>8s}"
+print(header)
+print("-" * len(header))
+for key, approach in all_approaches().items():
+    result = run_point(approach, deployment, workload, replay, truths=truths)
+    print(
+        f"{approach.name:32s} {result.subscription_load:9d} "
+        f"{result.event_load:11d} {result.recall:7.3f} "
+        f"{result.false_positive_rate:8.3f}"
+    )
+
+print(
+    "\nReading the table (paper, Section VI): the naive approach pays for "
+    "every overlapping result stream; operator placement trims covered "
+    "operators but still duplicates result sets; the multi-join baseline "
+    "shares streams but hauls binary-join false positives to the user; "
+    "Filter-Split-Forward shares streams *and* forwards only full "
+    "correlations, at the price of a (small) probabilistic recall loss. "
+    "The centralized scheme wins on subscription traffic and loses on "
+    "event traffic — every reading crosses the network to the centre."
+)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's Table I / Figure 3 walkthrough, end to end.
+
+Reproduces the illustrative example of Section V-B: three subscriptions
+over sensors a, b, c registered at node n6 of a 6-node network.  s1 and
+s2 are placed as operators along the reverse advertisement paths; s3 —
+although no single subscription covers it — is jointly subsumed by
+{s1, s2} and generates *zero* subscription traffic.  The event phase
+then shows that s3's user still receives its matches (regenerated from
+the covering operators' streams).
+
+Run:  python examples/fig3_walkthrough.py
+"""
+
+from repro.experiments.tables import (
+    render_table_i,
+    run_fig3_walkthrough,
+    table_i_subscriptions,
+)
+from repro.model import SimpleEvent
+
+print(render_table_i())
+print()
+
+walkthrough = run_fig3_walkthrough(exact_filtering=True)
+print(walkthrough.render())
+network = walkthrough.network
+
+# --------------------------------------------------------------------------
+# Event phase, round 1: a=60, b=25, c=10 — matches s1, s2 AND s3.
+# s3 was never forwarded, yet its user reconstructs the full complex
+# event from the streams s1 and s2 already pull to n6.
+# --------------------------------------------------------------------------
+deployment = network.deployment
+
+
+def publish_round(readings: dict[str, float], seq: int) -> None:
+    t0 = network.sim.now + 100.0
+    for i, (sensor_id, value) in enumerate(sorted(readings.items())):
+        placement = deployment.sensor_by_id(sensor_id)
+        event = SimpleEvent(
+            sensor_id, "t", placement.location, value, t0 + 0.5 * i, seq=seq
+        )
+        network.sim.at(
+            event.timestamp,
+            lambda e=event, p=placement: network.publish(p.node_id, e),
+        )
+    network.run_to_quiescence()
+
+
+def report(title: str) -> None:
+    print(f"\n{title}")
+    for sub in table_i_subscriptions():
+        delivered = network.delivery.delivered(sub.sub_id)
+        got = sorted(f"{e.sensor_id}={e.value:g}" for e in delivered.values())
+        print(f"  {sub.sub_id} received: {got}")
+
+
+publish_round({"a": 60.0, "b": 25.0, "c": 10.0}, seq=0)
+report("round 1 (a=60, b=25, c=10 — b inside both s1 and s2):")
+print(
+    "  -> s3 reconstructs its full complex event although it generated "
+    "zero subscription traffic:\n     its members ride the result streams "
+    "of the covering operators s1 and s2."
+)
+
+# --------------------------------------------------------------------------
+# Round 2: a=61, b=32, c=11.  b=32 lies outside s1 (10..30), so the pair
+# (a, b) matches no *forwarded* operator — 'a' never leaves its source and
+# s3 misses this instance.  This is precisely the (rare) coverage gap the
+# paper's recall experiment (Fig. 12) quantifies: joint coverage of the
+# value space does not always cover every correlation context.
+# --------------------------------------------------------------------------
+publish_round({"a": 61.0, "b": 32.0, "c": 11.0}, seq=1)
+report("round 2 (a=61, b=32, c=11 — b outside s1):")
+print(
+    "  -> s2 still matches (b, c); s3's instance is lost because no "
+    "forwarded operator pulls 'a'\n     in this context — the structural "
+    "part of Filter-Split-Forward's <100% recall (Fig. 12)."
+)

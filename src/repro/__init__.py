@@ -1,0 +1,89 @@
+"""repro — reproduction of *Continuous Query Evaluation over Distributed
+Sensor Networks* (Jurca, Michel, Herrmann, Aberer — ICDE 2010).
+
+A publish/subscribe system for continuous multi-join queries over
+distributed sensor data streams, processed by an acyclic overlay of
+nodes with local knowledge only.  The package provides:
+
+* :mod:`repro.model` — the data model: events, advertisements, filters,
+  identified/abstract subscriptions, correlation operators, matching;
+* :mod:`repro.sim` — a deterministic discrete-event simulation kernel;
+* :mod:`repro.network` — topology, links, node storage, traffic meters;
+* :mod:`repro.subsumption` — pair-wise, exact and probabilistic
+  set-subsumption checking;
+* :mod:`repro.core` — the paper's Filter-Split-Forward protocol
+  (Algorithms 1-5);
+* :mod:`repro.baselines` — centralized, naive, distributed operator
+  placement and distributed multi-join comparison systems;
+* :mod:`repro.workload` — SensorScope-style synthetic replay and the
+  Pareto subscription generator;
+* :mod:`repro.metrics` / :mod:`repro.experiments` — oracle, recall,
+  traffic metrics and the harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import quick_network
+    net, deployment = quick_network()            # FSF on a small overlay
+    ...
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+from __future__ import annotations
+
+from .core import FSFConfig, FilterSplitForwardNode, filter_split_forward_approach
+from .model import (
+    AbstractSubscription,
+    Advertisement,
+    ComplexEvent,
+    IdentifiedSubscription,
+    Interval,
+    Location,
+    SimpleEvent,
+    SimpleFilter,
+)
+from .network import Deployment, Network, build_deployment
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractSubscription",
+    "Advertisement",
+    "ComplexEvent",
+    "Deployment",
+    "FSFConfig",
+    "FilterSplitForwardNode",
+    "IdentifiedSubscription",
+    "Interval",
+    "Location",
+    "Network",
+    "SimpleEvent",
+    "SimpleFilter",
+    "Simulator",
+    "build_deployment",
+    "filter_split_forward_approach",
+    "quick_network",
+    "__version__",
+]
+
+
+def quick_network(
+    n_nodes: int = 24,
+    n_groups: int = 3,
+    seed: int = 0,
+    config: FSFConfig | None = None,
+) -> tuple[Network, Deployment]:
+    """A ready-to-use Filter-Split-Forward network on a small deployment.
+
+    Sensors are attached and advertised; inject subscriptions with
+    ``net.inject_subscription(node_id, subscription)`` and publish
+    readings with ``net.publish(node_id, event)``, then call
+    ``net.run_to_quiescence()``.
+    """
+    deployment = build_deployment(n_nodes, n_groups, seed=seed)
+    network = Network(deployment, Simulator(seed=seed))
+    filter_split_forward_approach(config).populate(network)
+    network.attach_all_sensors()
+    network.run_to_quiescence()
+    return network, deployment

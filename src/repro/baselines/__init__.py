@@ -1,0 +1,20 @@
+"""The four comparison systems of the evaluation (Sections III and VI)."""
+
+from .centralized import CentralizedNode, centralized_approach
+from .multijoin import MultiJoinNode, multijoin_approach
+from .naive import NaiveNode, naive_approach
+from .operator_placement import (
+    OperatorPlacementNode,
+    operator_placement_approach,
+)
+
+__all__ = [
+    "CentralizedNode",
+    "MultiJoinNode",
+    "NaiveNode",
+    "OperatorPlacementNode",
+    "centralized_approach",
+    "multijoin_approach",
+    "naive_approach",
+    "operator_placement_approach",
+]

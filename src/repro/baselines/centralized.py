@@ -1,0 +1,149 @@
+"""Centralized approach (Section VI).
+
+Everything converges on the network's centre node ("the node with the
+minimum pairwise distance to all other nodes"):
+
+* subscribers unicast their subscriptions to the centre over the
+  shortest path — the by-far lowest subscription load in Fig. 6;
+* every sensor unicasts every reading to the centre (the *fixed*
+  traffic component that dominates Fig. 7 regardless of selectivity);
+* the centre performs all matching and unicasts per-subscription result
+  sets back to the subscribers (full result sets, no sharing).
+
+Advertisement propagation does not happen at all (Table II's
+surroundings): routing uses the unique tree paths directly, which is
+precisely the global knowledge the distributed approaches do without.
+"""
+
+from __future__ import annotations
+
+from ..model.events import EventKey, SimpleEvent
+from ..model.matching import matches_involving
+from ..model.operators import CorrelationOperator, root_operator
+from ..model.subscriptions import (
+    AbstractSubscription,
+    IdentifiedSubscription,
+    Subscription,
+)
+from ..network.messages import EventMessage, OperatorMessage
+from ..network.network import Network
+from ..network.node import LOCAL, Node
+from ..protocols.base import Approach
+
+
+class CentralizedNode(Node):
+    """Subscriber / sensor / centre behaviour in one class.
+
+    A node acts as the centre iff it *is* the network's centre; other
+    nodes only inject (unicast toward the centre) and receive results.
+    """
+
+    # ------------------------------------------------------------------
+    # no advertisement flooding in the centralized scheme
+    # ------------------------------------------------------------------
+    def attach_sensor(self, advertisement) -> None:
+        self.ads.add_local(advertisement)
+
+    def handle_advertisement(self, advertisement, origin: str) -> None:
+        raise AssertionError("centralized scheme floods no advertisements")
+
+    # ------------------------------------------------------------------
+    # subscription side
+    # ------------------------------------------------------------------
+    def build_root_operator(
+        self, subscription: Subscription
+    ) -> CorrelationOperator | None:
+        """Resolve with global knowledge (the centre knows everything)."""
+        if isinstance(subscription, IdentifiedSubscription):
+            known = {s.sensor_id for s in self.network.deployment.sensors}
+            if not subscription.sensor_ids <= known:
+                return None
+            return root_operator(subscription, self.node_id)
+        assert isinstance(subscription, AbstractSubscription)
+        sensors: dict[str, list[str]] = {}
+        for clause in subscription.clauses:
+            hits = [
+                s.sensor_id
+                for s in self.network.deployment.sensors
+                if s.attribute.name == clause.attribute
+                and clause.region.contains(s.location)
+            ]
+            if not hits:
+                return None
+            sensors[clause.attribute] = sorted(hits)
+        return root_operator(subscription, self.node_id, sensors)
+
+    def subscribe(self, subscription: Subscription) -> None:
+        root = self.build_root_operator(subscription)
+        if root is None:
+            self.network.dropped_subscriptions.append(subscription.sub_id)
+            return
+        self.local_subscriptions.append((subscription, root))
+        self.network.unicast(
+            self.node_id, self.network.center, OperatorMessage(root)
+        )
+
+    def handle_operator(self, operator: CorrelationOperator, origin: str) -> None:
+        # Only the centre receives operators (via unicast).
+        assert self.node_id == self.network.center
+        self.store_for(LOCAL).add(operator, covered=False)
+
+    # ------------------------------------------------------------------
+    # event side
+    # ------------------------------------------------------------------
+    def publish(self, event: SimpleEvent) -> None:
+        if self.node_id == self.network.center:
+            self._match_at_center(event)
+        else:
+            self.network.unicast(
+                self.node_id, self.network.center, EventMessage(event)
+            )
+
+    def handle_event(
+        self, event: SimpleEvent, origin: str, streams: tuple[str, ...]
+    ) -> None:
+        if streams:
+            # A result-set delivery addressed to a local subscriber.
+            for sub_id in streams:
+                self.network.delivery.record_events(sub_id, [event])
+            return
+        # A raw sensor reading arriving at the centre.
+        assert self.node_id == self.network.center
+        self._match_at_center(event)
+
+    def _match_at_center(self, event: SimpleEvent) -> None:
+        if not self.ingest(event):
+            return
+        store = self.stores.get(LOCAL)
+        if store is None:
+            return
+        for operator in store.ops_for_sensor(event.sensor_id, False):
+            participants = matches_involving(operator, self.store, event)
+            if not participants:
+                continue
+            self.network.delivery.record_complex(operator.subscription_id)
+            outgoing: dict[EventKey, SimpleEvent] = {}
+            tag_base = operator.op_id
+            for events in participants.values():
+                for member in events:
+                    if not self.was_sent(member.key, tag_base):
+                        self.mark_sent(member.key, tag_base)
+                        outgoing[member.key] = member
+            for _, member in sorted(outgoing.items()):
+                self.network.unicast(
+                    self.node_id,
+                    operator.subscriber,
+                    EventMessage(member, streams=(operator.subscription_id,)),
+                )
+
+
+def centralized_approach() -> Approach:
+    return Approach(
+        key="centralized",
+        name="Centralized",
+        subscription_filtering="None",
+        subscription_splitting="None",
+        event_propagation="Full result sets",
+        make_node=CentralizedNode,
+        floods_advertisements=False,
+    )

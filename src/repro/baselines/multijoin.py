@@ -1,0 +1,191 @@
+"""Distributed multi-join processing (Section III-B).
+
+The paper distributes Chandramouli & Yang's binary-join technique [7]:
+
+* subscriptions travel *whole* from the user along the common reverse
+  advertisement path, pair-wise covering filtered at every hop;
+* at the **first node where the path diverges** the multi-join is split
+  into **binary joins** — each stream becomes the *main* of one binary
+  join sanctioned by a *filtering* stream (ring pairing) — and the
+  individual simple filters are sent onward to the data sources ("the
+  divergence node acts in a way as the centralized server" of [7]);
+* raw events flow from the sensors to the divergence node over shared
+  single-attribute streams (one unit per event per link);
+* the divergence node forwards a main event toward the user as soon as
+  its filtering stream sanctions it — a *pairwise* check that admits
+  **false positives** for joins over three or more attributes, which
+  "are forwarded all the way to the user and create additional network
+  traffic";
+* above the divergence node, relays forward by value-filter acceptance
+  against the stored whole multi-joins (publish/subscribe, per-link
+  deduplicated), never re-running the full correlation — false
+  positives reach the user by design.  Cross-subscription leakage at
+  relays (an event sanctioned for one subscription passing another's
+  value filter) adds further false positives but never loses a true
+  result; recall stays 100%.
+
+Every stored operator carries a *role* describing its job on the event
+path: ``transit`` (whole multi-join, relay by value filter), ``split``
+(whole multi-join at its divergence node — inert, its binary joins do
+the work), ``join`` (binary join evaluated here), ``leaf`` (simple
+filter pulling raw events toward the divergence node).
+"""
+
+from __future__ import annotations
+
+from ..model.advertisements import AdvertisementTable
+from ..model.events import SimpleEvent
+from ..model.matching import matches_involving
+from ..model.operators import CorrelationOperator
+from ..network.network import Network
+from ..network.node import LOCAL, Node
+from ..protocols.base import Approach
+from ..subsumption.pairwise import find_cover
+
+TRANSIT = "transit"
+SPLIT = "split"
+JOIN = "join"
+LEAF = "leaf"
+
+
+class MultiJoinNode(Node):
+    """Binary-join splitting at divergence nodes, roles on the event path."""
+
+    def __init__(self, node_id: str, network: Network) -> None:
+        super().__init__(node_id, network)
+        self.roles: dict[str, str] = {}
+        self._ring_cache: dict[str, list[CorrelationOperator]] = {}
+        # Simple filters already dispatched toward the sensors, per
+        # origin — used to pair-wise deduplicate the per-binary-join
+        # filter dispatch (same-signature streams are shared).
+        self._dispatched_filters: dict[str, list[CorrelationOperator]] = {}
+
+    # ------------------------------------------------------------------
+    # subscription side
+    # ------------------------------------------------------------------
+    def handle_operator(self, operator: CorrelationOperator, origin: str) -> None:
+        store = self.store_for(origin)
+        if find_cover(operator, store.same_signature_uncovered(operator)):
+            store.add(operator, covered=True)
+            return
+        if operator.is_simple:
+            store.add(operator, covered=False)
+            self.roles[operator.op_id] = LEAF
+            self._forward_split(operator, origin)
+            return
+        directions = self.ads.partition_by_origin(operator.sensors)
+        if origin != LOCAL:
+            directions.pop(origin, None)
+        if len(directions) == 1 and LOCAL not in directions:
+            # Single onward path: keep the multi-join whole.
+            store.add(operator, covered=False)
+            self.roles[operator.op_id] = TRANSIT
+            (neighbor,) = directions
+            piece = operator.project_sensors(directions[neighbor])
+            if piece is not None:
+                self.send_operator(neighbor, piece)
+            return
+        # First divergence: split into binary joins here.
+        store.add(operator, covered=False)
+        self.roles[operator.op_id] = SPLIT
+        for join in operator.binary_joins():
+            if find_cover(join, store.same_signature_uncovered(join)):
+                store.add(join, covered=True)
+                continue
+            store.add(join, covered=False)
+            self.roles[join.op_id] = JOIN
+            self._dispatch_filters(join, origin)
+
+    def _dispatch_filters(self, join: CorrelationOperator, origin: str) -> None:
+        """Send the join's individual simple filters toward the sensors.
+
+        Identical or covered filters of previously processed binary
+        joins (from the same origin) are shared instead of re-sent —
+        single-attribute streams are deduplicated by design.
+        """
+        dispatched = self._dispatched_filters.setdefault(origin, [])
+        for slot in join.slots:
+            simple = join.project([slot.slot_id])
+            if find_cover(simple, dispatched):
+                continue
+            dispatched.append(simple)
+            self._forward_split(simple, origin)
+
+    def _forward_split(self, operator: CorrelationOperator, origin: str) -> None:
+        exclude = () if origin == LOCAL else (origin,)
+        for neighbor, piece in self.split_targets(operator, exclude).items():
+            self.send_operator(neighbor, piece)
+
+    # ------------------------------------------------------------------
+    # event side
+    # ------------------------------------------------------------------
+    def handle_event(
+        self, event: SimpleEvent, origin: str, streams: tuple[str, ...]
+    ) -> None:
+        if not self.ingest(event):
+            return
+        self._deliver_local(event)
+        for neighbor in self.neighbors:
+            if neighbor == origin:
+                continue
+            store = self.stores.get(neighbor)
+            if store is None:
+                continue
+            outgoing: dict = {}
+            for operator in store.ops_for_sensor(event.sensor_id, False):
+                role = self.roles.get(operator.op_id, TRANSIT)
+                if role == SPLIT:
+                    continue  # its binary joins act instead
+                if role == LEAF:
+                    # Raw stream toward the divergence node: value
+                    # filter only — joins happen there, not below.
+                    if operator.accepts_some(event):
+                        outgoing[event.key] = event
+                    continue
+                # JOIN (a binary join evaluated here) or TRANSIT (a
+                # whole multi-join relayed toward the user): sanction
+                # main events by their ring-filtering stream.  Transit
+                # relays re-run the same *pairwise* checks over what
+                # reaches them — false positives of the binary-join
+                # approximation keep flowing to the user, true matches
+                # always pass, and nothing leaks across subscriptions.
+                if role == JOIN:
+                    joins = [operator]
+                else:
+                    joins = self._ring_cache.get(operator.op_id)
+                    if joins is None:
+                        joins = operator.binary_joins()
+                        self._ring_cache[operator.op_id] = joins
+                for join in joins:
+                    if not join.accepts_some(event):
+                        continue
+                    participants = matches_involving(join, self.store, event)
+                    if not participants:
+                        continue
+                    assert join.main_slot is not None
+                    for member in participants.get(join.main_slot, ()):
+                        outgoing[member.key] = member
+            for key, member in sorted(outgoing.items()):
+                if not self.was_sent(key, neighbor):
+                    self.mark_sent(key, neighbor)
+                    self.send_event(neighbor, member)
+
+    def _deliver_local(self, event: SimpleEvent) -> None:
+        """User-side delivery: value-filter acceptance (false positives
+        included, as the paper describes), plus exact complex matching
+        for the complex-delivery counter."""
+        for subscription, root in self._local_by_sensor.get(event.sensor_id, ()):
+            if root.accepts_some(event):
+                self.network.delivery.record_events(subscription.sub_id, [event])
+        self.deliver_local_matches(event)
+
+
+def multijoin_approach() -> Approach:
+    return Approach(
+        key="multijoin",
+        name="Distributed multi-join",
+        subscription_filtering="Pair wise",
+        subscription_splitting="Binary joins",
+        event_propagation="Per neighbor",
+        make_node=MultiJoinNode,
+    )

@@ -1,0 +1,171 @@
+"""Filter-Split-Forward — the paper's contribution (Section V).
+
+Subscription propagation (Algorithms 2-4): a subscription arriving at a
+node is checked for *set subsumption* against the uncovered
+subscriptions previously received from the same origin and over the
+same attribute structure.  If the union of those covers it, it is
+stored as covered and goes no further; otherwise it is stored
+uncovered, projected onto each neighbour's advertised data space
+(splitting exactly where advertisement paths diverge) and forwarded.
+Because split fragments are compared again at every node, subsumption
+against subscriptions over *different-but-overlapping* attribute sets —
+undetectable by classic set filtering, cf. Table I — is detected where
+the fragments become comparable (the paper's divide-and-conquer).
+
+Event propagation (Algorithm 5): publish/subscribe forwarding — an
+event travels a link at most once, iff it participates in a complex
+match of some uncovered operator from that link's far end; the final,
+exact matching happens at the user's node against the whole local
+subscriptions.
+
+The probabilistic set filter may erroneously declare coverage (bounded
+by its configured error probability); events falling in the resulting
+gaps are the recall loss measured in Fig. 12.  ``coarsening`` optionally
+widens every forwarded operator — the Section VI-F mitigation that
+trades traffic for recall; the user-node matching stays exact, so
+coarsening never delivers spurious results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.advertisements import AdvertisementTable
+from ..model.events import SimpleEvent
+from ..model.intervals import union_covers
+from ..model.operators import CorrelationOperator
+from ..network.network import Network
+from ..network.node import LOCAL, Node
+from ..protocols.base import Approach
+from ..subsumption.setfilter import ProbabilisticSetFilter
+
+
+@dataclass(frozen=True)
+class FSFConfig:
+    """Tuning knobs of the Filter-Split-Forward node.
+
+    ``error_probability`` / ``gap_fraction`` parameterise the
+    probabilistic set filter (Section V-B); ``coarsening`` widens every
+    forwarded filter range by the given absolute amount (Section VI-F's
+    "subscriptions can be made coarser" mitigation, 0 = off).
+    """
+
+    error_probability: float = 0.05
+    gap_fraction: float = 0.10
+    coarsening: float = 0.0
+    exact_filtering: bool = False
+
+
+class FilterSplitForwardNode(Node):
+    """Processing node running Algorithms 1-5."""
+
+    def __init__(
+        self, node_id: str, network: Network, config: FSFConfig | None = None
+    ) -> None:
+        super().__init__(node_id, network)
+        self.config = config or FSFConfig()
+        self.set_filter = ProbabilisticSetFilter(
+            self.config.error_probability,
+            self.config.gap_fraction,
+            rng=network.sim.rng(f"setfilter:{node_id}"),
+        )
+
+    # ------------------------------------------------------------------
+    # subscription side: Algorithms 2, 3, 4
+    # ------------------------------------------------------------------
+    def handle_operator(self, operator: CorrelationOperator, origin: str) -> None:
+        """Algorithm 4: filter against same-origin subscriptions, then
+        split and forward the uncovered ones."""
+        if self.config.coarsening > 0 and origin == LOCAL:
+            operator = operator.widened(self.config.coarsening)
+        store = self.store_for(origin)
+        if self._is_set_covered(operator, store):
+            store.add(operator, covered=True)  # Algorithm 4, line 12
+            return
+        store.add(operator, covered=False)  # Algorithm 4, line 9
+        self._split_and_forward(operator, origin)
+
+    def _is_set_covered(self, operator: CorrelationOperator, store) -> bool:
+        """The set-filtering check of Algorithm 2.
+
+        Per Section V-B, every stream position (sensor, or attribute +
+        location) is one attribute of the set-subsumption problem, so
+        the stored uncovered operators from the same origin cover the
+        new one iff, on *every* slot, the union of the ranges they
+        already request contains the new range — this is what lets the
+        Table I example drop s3 against {s1, s2}, which classic
+        same-attribute-set filtering cannot do.  Correlation stays safe
+        because the covered operator keeps generating its result set at
+        this node (``include_covered`` on the event path).
+        """
+        covers_per_slot: list[list] = []
+        for slot in operator.slots:
+            candidates = []
+            for stored in store.uncovered:
+                if (
+                    stored.delta_t < operator.delta_t
+                    or stored.delta_l < operator.delta_l
+                ):
+                    continue
+                for other in stored.slots:
+                    if (
+                        other.slot_id == slot.slot_id
+                        and other.attribute == slot.attribute
+                        and other.sensors >= slot.sensors
+                    ):
+                        candidates.append(other.interval)
+            if not candidates:
+                return False
+            covers_per_slot.append(candidates)
+        if self.config.exact_filtering:
+            return all(
+                union_covers(candidates, slot.interval)
+                for slot, candidates in zip(operator.slots, covers_per_slot)
+            )
+        return self.set_filter.is_product_subsumed(
+            operator.as_box(), covers_per_slot
+        )
+
+    def _split_and_forward(
+        self, operator: CorrelationOperator, origin: str
+    ) -> None:
+        """Algorithm 3: project on each neighbour's data space and send.
+
+        The absent-sources check (line 3) already happened at the
+        originating node (``Node.subscribe``); operators arriving from a
+        neighbour had their sources checked there.
+        """
+        exclude = () if origin == LOCAL else (origin,)
+        for neighbor, piece in self.split_targets(operator, exclude).items():
+            self.send_operator(neighbor, piece)
+
+    # ------------------------------------------------------------------
+    # event side: Algorithm 5
+    # ------------------------------------------------------------------
+    def handle_event(
+        self, event: SimpleEvent, origin: str, streams: tuple[str, ...]
+    ) -> None:
+        if not self.ingest(event):
+            return
+        self.deliver_local_matches(event)  # lines 14-15 (j == n)
+        # include_covered: an operator covered *at this node* still
+        # generates its result set from here (Section V-A's "generates
+        # the missing result set at the node where covering was
+        # detected"); per-link dedup keeps the traffic shared.
+        self.pubsub_forward(event, sender=origin, include_covered=True)
+
+
+def filter_split_forward_approach(config: FSFConfig | None = None) -> Approach:
+    """The paper's approach, ready for the experiment runner."""
+    cfg = config or FSFConfig()
+    return Approach(
+        key="fsf",
+        name="Filter-Split-Forward",
+        subscription_filtering="Set filtering",
+        subscription_splitting="Simple",
+        event_propagation="Per neighbor",
+        make_node=lambda node_id, network: FilterSplitForwardNode(
+            node_id, network, cfg
+        ),
+        deterministic_recall=False,
+    )

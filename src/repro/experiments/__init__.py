@@ -1,0 +1,30 @@
+"""Experiment harness: runner, per-figure/table reproduction, CLI."""
+
+from .figures import ALL_FIGURES, FigureResult, clear_cache, scenario_series
+from .runner import REPLAY_START, RunResult, SeriesResult, run_point, run_series
+from .tables import (
+    Fig3Walkthrough,
+    fig3_deployment,
+    render_table_2,
+    render_table_i,
+    run_fig3_walkthrough,
+    table_i_subscriptions,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "Fig3Walkthrough",
+    "FigureResult",
+    "REPLAY_START",
+    "RunResult",
+    "SeriesResult",
+    "clear_cache",
+    "fig3_deployment",
+    "render_table_2",
+    "render_table_i",
+    "run_fig3_walkthrough",
+    "run_point",
+    "run_series",
+    "scenario_series",
+    "table_i_subscriptions",
+]

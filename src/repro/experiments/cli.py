@@ -1,0 +1,89 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    repro-experiments table1
+    repro-experiments table2
+    repro-experiments fig3
+    repro-experiments fig7 --scale 0.2
+    repro-experiments all --scale 0.1
+    repro-experiments experiments-md --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..workload.scenarios import default_scale
+from . import figures
+from .experiments_md import build_experiments_md
+from .tables import render_table_2, render_table_i, run_fig3_walkthrough
+
+
+def _figure_command(fig_id: str, scale: float | None) -> str:
+    return figures.ALL_FIGURES[fig_id](scale).render()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the ICDE 2010 paper "
+        "'Continuous Query Evaluation over Distributed Sensor Networks'.",
+    )
+    parser.add_argument(
+        "target",
+        choices=[
+            "table1",
+            "table2",
+            "fig3",
+            *(f"fig{i}" for i in range(4, 13)),
+            "all",
+            "experiments-md",
+        ],
+        help="what to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor (default: REPRO_SCALE env or 0.1; "
+        "1.0 = the paper's subscription counts)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the result to a file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    out: list[str] = []
+    if args.target == "table1":
+        out.append(render_table_i())
+    elif args.target == "table2":
+        out.append(render_table_2())
+    elif args.target == "fig3":
+        out.append(run_fig3_walkthrough().render())
+    elif args.target.startswith("fig"):
+        out.append(_figure_command(args.target[3:], args.scale))
+    elif args.target == "experiments-md":
+        out.append(build_experiments_md(args.scale))
+    else:  # all
+        out.append(render_table_i())
+        out.append(render_table_2())
+        out.append(run_fig3_walkthrough().render())
+        for fig_id in sorted(figures.ALL_FIGURES, key=int):
+            out.append(_figure_command(fig_id, args.scale))
+    text = "\n\n".join(out) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} (scale={args.scale or default_scale()})")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

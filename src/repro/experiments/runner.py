@@ -1,0 +1,198 @@
+"""Experiment runner — reproduces the measurement protocol of Section VI.
+
+For every measurement point the paper reports ("we measure the
+performance of each approach after every new batch of 100
+subscriptions") we run a fresh network per (approach, subscription
+count): the same deployment, the same subscription prefix in the same
+registration order, and the same replayed event set — so approaches are
+compared under identical conditions exactly as the paper ensures.
+
+Phases of one point:
+
+1. populate nodes, attach sensors, flood advertisements (skipped by the
+   centralized scheme), run to quiescence;
+2. inject the subscription prefix sequentially, running to quiescence
+   after each (deterministic registration order);  the traffic accrued
+   here is the **subscription load**;
+3. replay the event set at a fixed virtual start time, run to
+   quiescence;  the traffic accrued here is the **publication load**;
+4. compare the delivery log against the oracle for recall / false
+   positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..metrics.oracle import SubscriptionTruth, compute_truth
+from ..metrics.recall import RecallReport, measure_recall
+from ..network.network import Network
+from ..network.topology import Deployment
+from ..protocols.base import Approach
+from ..sim import Simulator
+from ..workload.scenarios import Scenario, default_scale
+from ..workload.sensorscope import Replay, build_replay
+from ..workload.subscriptions import PlacedSubscription, generate_subscriptions
+
+REPLAY_START = 10_000.0
+"""Virtual time at which event replay begins — far beyond any
+subscription-phase activity, so the replayed timestamps (and therefore
+the oracle's ground truth) are identical for every approach."""
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Everything one (approach, subscription count) point produced."""
+
+    approach: str
+    n_subscriptions: int
+    subscription_load: int
+    event_load: int
+    advertisement_load: int
+    recall: float
+    false_positive_rate: float
+    true_instances: int
+    delivered_instances: int
+    delivered_events: int
+    dropped_subscriptions: int
+    complex_deliveries: int
+    sim_events: int
+
+
+def run_point(
+    approach: Approach,
+    deployment: Deployment,
+    placed: Sequence[PlacedSubscription],
+    replay: Replay,
+    truths: Mapping[str, SubscriptionTruth] | None = None,
+    delta_t: float = 5.0,
+    latency: float = 0.05,
+) -> RunResult:
+    """Run one approach on one subscription prefix; see module docstring."""
+    sim = Simulator(seed=deployment.seed)
+    network = Network(deployment, sim, latency=latency, delta_t=delta_t)
+    approach.populate(network)
+
+    # Phase 1: advertisements.
+    network.attach_all_sensors()
+    network.run_to_quiescence()
+    after_ads = network.meter.snapshot()
+
+    # Phase 2: subscriptions, in registration order.
+    for item in placed:
+        network.inject_subscription(item.node_id, item.subscription)
+        network.run_to_quiescence()
+    after_subs = network.meter.snapshot()
+
+    # Phase 3: event replay at a fixed virtual start time.
+    if sim.now >= REPLAY_START:
+        raise RuntimeError(
+            f"subscription phase ran past t={REPLAY_START}; raise REPLAY_START"
+        )
+    node_of_sensor = {s.sensor_id: s.node_id for s in deployment.sensors}
+    events = replay.shifted(REPLAY_START)
+    for event in events:
+        sim.at(
+            event.timestamp,
+            lambda e=event: network.publish(node_of_sensor[e.sensor_id], e),
+        )
+    network.run_to_quiescence()
+    final = network.meter.snapshot()
+
+    # Phase 4: recall against the oracle.
+    if truths is None:
+        truths = compute_truth(
+            [p.subscription for p in placed], deployment, events
+        )
+    report = measure_recall(truths, network.delivery)
+
+    sub_traffic = after_subs.minus(after_ads)
+    event_traffic = final.minus(after_subs)
+    return RunResult(
+        approach=approach.key,
+        n_subscriptions=len(placed),
+        subscription_load=sub_traffic.subscription_units,
+        event_load=event_traffic.event_units,
+        advertisement_load=after_ads.advertisement_units,
+        recall=report.recall,
+        false_positive_rate=report.false_positive_rate,
+        true_instances=report.true_instances,
+        delivered_instances=report.delivered_instances,
+        delivered_events=report.delivered_events,
+        dropped_subscriptions=len(network.dropped_subscriptions),
+        complex_deliveries=sum(network.delivery.complex_deliveries.values()),
+        sim_events=sim.processed_events,
+    )
+
+
+@dataclass
+class SeriesResult:
+    """A whole figure-pair worth of points: one scenario, all approaches."""
+
+    scenario: Scenario
+    counts: list[int]
+    results: dict[str, list[RunResult]] = field(default_factory=dict)
+
+    def subscription_series(self) -> dict[str, list[int]]:
+        return {
+            key: [r.subscription_load for r in runs]
+            for key, runs in self.results.items()
+        }
+
+    def event_series(self) -> dict[str, list[int]]:
+        return {
+            key: [r.event_load for r in runs] for key, runs in self.results.items()
+        }
+
+    def recall_series(self, approach_key: str) -> list[float]:
+        return [r.recall for r in self.results[approach_key]]
+
+    def false_positive_series(self, approach_key: str) -> list[float]:
+        return [r.false_positive_rate for r in self.results[approach_key]]
+
+
+def run_series(
+    scenario: Scenario,
+    approaches: Mapping[str, Approach],
+    scale: float | None = None,
+    delta_t: float | None = None,
+    latency: float = 0.05,
+) -> SeriesResult:
+    """All measurement points of one scenario for the given approaches.
+
+    The oracle ground truth per point is computed once and shared by all
+    approaches (it only depends on subscriptions + events).
+    """
+    dt = scenario.delta_t if delta_t is None else delta_t
+    deployment = scenario.deployment()
+    replay = build_replay(deployment, scenario.replay)
+    counts = scenario.subscription_counts(scale)
+    workload = generate_subscriptions(
+        deployment,
+        replay.medians,
+        scenario.workload_config(max(counts)),
+        spreads=replay.spreads,
+    )
+    shifted = replay.shifted(REPLAY_START)
+    series = SeriesResult(scenario, counts)
+    for key in approaches:
+        series.results[key] = []
+    for n in counts:
+        placed = workload[:n]
+        truths = compute_truth(
+            [p.subscription for p in placed], deployment, shifted
+        )
+        for key, approach in approaches.items():
+            series.results[key].append(
+                run_point(
+                    approach,
+                    deployment,
+                    placed,
+                    replay,
+                    truths=truths,
+                    delta_t=dt,
+                    latency=latency,
+                )
+            )
+    return series

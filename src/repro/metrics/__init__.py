@@ -1,0 +1,23 @@
+"""Metrics: traffic loads, the offline oracle, recall and reports."""
+
+from .oracle import (
+    EventIndex,
+    SubscriptionTruth,
+    compute_truth,
+    oracle_operator,
+)
+from .recall import RecallReport, measure_recall, per_subscription_recall
+from .report import improvement_over, render_series_table, summarize_improvement
+
+__all__ = [
+    "EventIndex",
+    "RecallReport",
+    "SubscriptionTruth",
+    "compute_truth",
+    "improvement_over",
+    "measure_recall",
+    "oracle_operator",
+    "per_subscription_recall",
+    "render_series_table",
+    "summarize_improvement",
+]

@@ -1,0 +1,120 @@
+"""Offline matching oracle — ground truth for the recall metric.
+
+With global knowledge of every published event, enumerate for each
+subscription the true *match instances*: pairs ``(subscription,
+trigger)`` where the trigger is the maximum-timestamp member of some
+valid complex event.  The per-instance participants are collected too,
+so the multi-join baseline's false positives (delivered events that are
+part of no true match) can be quantified.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..model.events import EventKey, SimpleEvent
+from ..model.matching import instance_exists, match_at_trigger
+from ..model.operators import CorrelationOperator, root_operator
+from ..model.subscriptions import (
+    AbstractSubscription,
+    IdentifiedSubscription,
+    Subscription,
+)
+from ..network.topology import Deployment
+
+
+class EventIndex:
+    """SlotEventProvider over an arbitrary event collection."""
+
+    def __init__(self, events: Iterable[SimpleEvent]) -> None:
+        self._by_sensor: dict[str, list[tuple[float, int, SimpleEvent]]] = {}
+        self.by_key: dict[EventKey, SimpleEvent] = {}
+        for event in events:
+            self._by_sensor.setdefault(event.sensor_id, []).append(
+                (event.timestamp, event.seq, event)
+            )
+            self.by_key[event.key] = event
+        for timeline in self._by_sensor.values():
+            timeline.sort()
+
+    def events_for_sensor(
+        self, sensor_id: str, after: float, until: float
+    ) -> Sequence[SimpleEvent]:
+        timeline = self._by_sensor.get(sensor_id)
+        if not timeline:
+            return ()
+        lo = bisect.bisect_right(timeline, (after, float("inf")))
+        hi = bisect.bisect_right(timeline, (until, float("inf")))
+        return [entry[2] for entry in timeline[lo:hi]]
+
+    def events_of(self, sensor_ids: Iterable[str]) -> list[SimpleEvent]:
+        out: list[SimpleEvent] = []
+        for sensor_id in sensor_ids:
+            out.extend(e for _, _, e in self._by_sensor.get(sensor_id, ()))
+        return out
+
+
+@dataclass
+class SubscriptionTruth:
+    """Ground truth for one subscription."""
+
+    sub_id: str
+    operator: CorrelationOperator
+    triggers: set[EventKey] = field(default_factory=set)
+    participants: set[EventKey] = field(default_factory=set)
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.triggers)
+
+
+def oracle_operator(
+    subscription: Subscription, deployment: Deployment
+) -> CorrelationOperator:
+    """Root operator resolved with global deployment knowledge."""
+    if isinstance(subscription, IdentifiedSubscription):
+        return root_operator(subscription, "oracle")
+    assert isinstance(subscription, AbstractSubscription)
+    sensors: dict[str, list[str]] = {}
+    for clause in subscription.clauses:
+        sensors[clause.attribute] = sorted(
+            s.sensor_id
+            for s in deployment.sensors
+            if s.attribute.name == clause.attribute
+            and clause.region.contains(s.location)
+        )
+    return root_operator(subscription, "oracle", sensors)
+
+
+def compute_truth(
+    subscriptions: Iterable[Subscription],
+    deployment: Deployment,
+    events: Sequence[SimpleEvent],
+    collect_participants: bool = True,
+) -> dict[str, SubscriptionTruth]:
+    """Enumerate every true match instance of every subscription.
+
+    Only events produced by a subscription's own sensors can trigger it,
+    so the scan is proportional to (subscriptions x their group's
+    events), not (subscriptions x all events).
+    """
+    index = EventIndex(events)
+    truths: dict[str, SubscriptionTruth] = {}
+    for subscription in subscriptions:
+        operator = oracle_operator(subscription, deployment)
+        truth = SubscriptionTruth(subscription.sub_id, operator)
+        for event in index.events_of(sorted(operator.sensors)):
+            if operator.slot_for_event(event) is None:
+                continue
+            if not instance_exists(operator, index, event):
+                continue
+            truth.triggers.add(event.key)
+            if collect_participants:
+                found = match_at_trigger(operator, index, event.timestamp)
+                if found:
+                    for members in found.values():
+                        truth.participants.update(m.key for m in members)
+        truths[subscription.sub_id] = truth
+    return truths

@@ -1,0 +1,101 @@
+"""End-user event recall (Fig. 12) and false-positive accounting.
+
+Recall: the fraction of true match instances the user could observe
+from what was actually delivered.  An instance ``(subscription,
+trigger)`` counts as delivered iff the trigger event reached the user
+*and* the delivered subset still contains a valid complex event
+anchored at that trigger — i.e. the user can reconstruct the match from
+what they received.  Deterministic approaches measure 1.0 by
+construction; Filter-Split-Forward trades a little recall for traffic
+through the probabilistic set filter's false positives.
+
+False positives (multi-join baseline): delivered events that take part
+in no true instance of that subscription — pure extra traffic from the
+binary-join approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..model.matching import instance_exists
+from ..network.delivery import DeliveryLog
+from .oracle import SubscriptionTruth
+
+
+@dataclass(frozen=True, slots=True)
+class RecallReport:
+    """Aggregated over all subscriptions of one run."""
+
+    true_instances: int
+    delivered_instances: int
+    delivered_events: int
+    false_positive_events: int
+
+    @property
+    def recall(self) -> float:
+        """1.0 when there was nothing to deliver (vacuous success)."""
+        if self.true_instances == 0:
+            return 1.0
+        return self.delivered_instances / self.true_instances
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Share of delivered events that belong to no true match."""
+        if self.delivered_events == 0:
+            return 0.0
+        return self.false_positive_events / self.delivered_events
+
+
+def measure_recall(
+    truths: Mapping[str, SubscriptionTruth],
+    delivery: DeliveryLog,
+) -> RecallReport:
+    """Compare delivered events against the oracle's instances."""
+    true_instances = 0
+    delivered_instances = 0
+    delivered_events = 0
+    false_positives = 0
+    for sub_id, truth in truths.items():
+        delivered = delivery.delivered(sub_id)
+        delivered_events += len(delivered)
+        false_positives += sum(
+            1 for key in delivered if key not in truth.participants
+        )
+        if not truth.triggers:
+            continue
+        true_instances += len(truth.triggers)
+        if not delivered:
+            continue
+        view = delivery.view(sub_id)
+        for trigger_key in truth.triggers:
+            trigger = delivered.get(trigger_key)
+            if trigger is None:
+                continue
+            if instance_exists(truth.operator, view, trigger):
+                delivered_instances += 1
+    return RecallReport(
+        true_instances, delivered_instances, delivered_events, false_positives
+    )
+
+
+def per_subscription_recall(
+    truths: Mapping[str, SubscriptionTruth],
+    delivery: DeliveryLog,
+) -> dict[str, float]:
+    """Recall broken down per subscription (diagnostics/tests)."""
+    out: dict[str, float] = {}
+    for sub_id, truth in truths.items():
+        if not truth.triggers:
+            out[sub_id] = 1.0
+            continue
+        delivered = delivery.delivered(sub_id)
+        view = delivery.view(sub_id)
+        hit = 0
+        for trigger_key in truth.triggers:
+            trigger = delivered.get(trigger_key)
+            if trigger is not None and instance_exists(truth.operator, view, trigger):
+                hit += 1
+        out[sub_id] = hit / len(truth.triggers)
+    return out

@@ -1,0 +1,51 @@
+"""Textual rendering of experiment results — the "rows/series the paper
+reports" in plain monospace, suitable for bench output and
+EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.0f}",
+) -> str:
+    """One figure as a table: rows = approaches, columns = x values."""
+    header = [x_label] + [str(x) for x in xs]
+    rows: list[list[str]] = [header]
+    for name, values in series.items():
+        rows.append([name] + [value_format.format(v) for v in values])
+    widths = [
+        max(len(rows[r][c]) for r in range(len(rows))) for c in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(w) if j else cell.ljust(w)
+                      for j, (cell, w) in enumerate(zip(row, widths)))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def improvement_over(
+    ours: Sequence[float], theirs: Sequence[float]
+) -> list[float]:
+    """Per-point relative improvement of `ours` vs `theirs` (positive =
+    ours lower/better), as percentages."""
+    out = []
+    for a, b in zip(ours, theirs):
+        out.append(0.0 if b == 0 else (b - a) / b * 100.0)
+    return out
+
+
+def summarize_improvement(ours: Sequence[float], theirs: Sequence[float]) -> str:
+    imps = improvement_over(ours, theirs)
+    if not imps:
+        return "n/a"
+    return f"{min(imps):.1f}% .. {max(imps):.1f}% (mean {sum(imps)/len(imps):.1f}%)"

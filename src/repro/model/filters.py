@@ -1,0 +1,138 @@
+"""Filters — range conditions on sensor events (Section IV-A).
+
+The paper defines three filter flavours:
+
+* a **simple filter** ``f_a``: a range condition ``min <= a <= max`` (or
+  ``a = v``) on one attribute type;
+* a **simple filter with identification** ``f_d``: a simple filter pinned
+  to one concrete sensor via its location/id;
+* an **abstract filter** ``F_{A,L}``: per-attribute simple filters
+  constrained to sensors inside a region ``L``.
+
+Complex filters with identification (``F_D``) are represented at the
+subscription level as mappings from sensor id to identified filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .advertisements import Advertisement
+from .events import SimpleEvent
+from .intervals import Interval, point
+from .locations import Region
+
+
+@dataclass(frozen=True, slots=True)
+class SimpleFilter:
+    """``min <= a <= max`` over one attribute type."""
+
+    attribute: str
+    interval: Interval
+
+    def __post_init__(self) -> None:
+        if self.interval.is_empty:
+            raise ValueError(
+                f"filter on {self.attribute!r} has an empty range; "
+                "unsatisfiable filters must be rejected at creation"
+            )
+
+    @classmethod
+    def equals(cls, attribute: str, value: float) -> "SimpleFilter":
+        """The ``a = v`` form of a simple filter."""
+        return cls(attribute, point(value))
+
+    def matches_value(self, value: float) -> bool:
+        return self.interval.contains(value)
+
+    def matches_event(self, event: SimpleEvent) -> bool:
+        """Attribute-typed value test (no identity/region constraint)."""
+        return event.attribute == self.attribute and self.interval.contains(
+            event.value
+        )
+
+    def covers(self, other: "SimpleFilter") -> bool:
+        """Whether every value accepted by ``other`` is accepted here."""
+        return self.attribute == other.attribute and self.interval.contains_interval(
+            other.interval
+        )
+
+    def intersect(self, other: "SimpleFilter") -> "SimpleFilter | None":
+        """Conjunction of two filters on the same attribute (None if empty)."""
+        if self.attribute != other.attribute:
+            raise ValueError("cannot intersect filters on different attributes")
+        joint = self.interval.intersect(other.interval)
+        if joint.is_empty:
+            return None
+        return SimpleFilter(self.attribute, joint)
+
+    def widen(self, amount: float) -> "SimpleFilter":
+        """Coarsened filter (Section VI-F recall mitigation)."""
+        return SimpleFilter(self.attribute, self.interval.widen(amount))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.interval.lo:g}<={self.attribute}<={self.interval.hi:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class IdentifiedFilter:
+    """``(min <= a_d <= max) AND (location(d) = p_d)`` — pinned to sensor d."""
+
+    sensor_id: str
+    condition: SimpleFilter
+
+    @property
+    def attribute(self) -> str:
+        return self.condition.attribute
+
+    @property
+    def interval(self) -> Interval:
+        return self.condition.interval
+
+    def matches_event(self, event: SimpleEvent) -> bool:
+        return event.sensor_id == self.sensor_id and self.condition.matches_event(
+            event
+        )
+
+    def covers(self, other: "IdentifiedFilter") -> bool:
+        return self.sensor_id == other.sensor_id and self.condition.covers(
+            other.condition
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.condition}@{self.sensor_id}"
+
+
+@dataclass(frozen=True, slots=True)
+class AbstractFilter:
+    """One clause ``f_a AND p_d in L`` of an abstract filter ``F_{A,L}``."""
+
+    condition: SimpleFilter
+    region: Region
+
+    @property
+    def attribute(self) -> str:
+        return self.condition.attribute
+
+    def matches_event(self, event: SimpleEvent) -> bool:
+        return self.condition.matches_event(event) and self.region.contains(
+            event.location
+        )
+
+    def applies_to(self, advertisement: Advertisement) -> bool:
+        """Whether an advertised sensor falls under this clause."""
+        return (
+            advertisement.attribute == self.attribute
+            and self.region.contains(advertisement.location)
+        )
+
+    def identify(self, advertisement: Advertisement) -> IdentifiedFilter:
+        """Pin the clause to a concrete advertised sensor."""
+        if not self.applies_to(advertisement):
+            raise ValueError(
+                f"{advertisement} does not satisfy abstract clause {self}"
+            )
+        return IdentifiedFilter(advertisement.sensor_id, self.condition)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.condition} in {self.region!r}"

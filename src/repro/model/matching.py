@@ -1,0 +1,271 @@
+"""Complex-event matching semantics (Section IV-A).
+
+A complex event ``E = {e_1 .. e_n}`` matches a subscription ``s`` at time
+``t`` iff
+
+1. completeness — one simple event per sensor (identified) or per
+   attribute type (abstract);
+2. every member matches ``s``'s filter for its position;
+3. ``t = max_i t_i``;
+4. ``|t - t_i| < delta_t`` for all members;
+5. (abstract only) pairwise location spread below ``delta_l``.
+
+The same semantics drive three consumers:
+
+* the offline **oracle** that enumerates ground-truth match instances
+  for the recall metric (Fig. 12);
+* the **node-level** window matching of Algorithm 5, phrased over
+  :class:`~repro.model.operators.CorrelationOperator` so it applies to
+  whole subscriptions and to split fragments alike;
+* the **final local check** a user's node performs before delivering.
+
+Node matching is anchored on *candidate triggers*: any valid match fits
+in the half-open window ``(t - delta_t, t]`` of its maximum-timestamp
+member, so scanning the windows of all plausible maxima is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
+
+from .events import ComplexEvent, SimpleEvent
+from .operators import CorrelationOperator, Slot
+from .subscriptions import (
+    AbstractSubscription,
+    IdentifiedSubscription,
+    Subscription,
+)
+
+
+class SlotEventProvider(Protocol):
+    """Timeline lookup the matcher needs from an event store."""
+
+    def events_for_sensor(
+        self, sensor_id: str, after: float, until: float
+    ) -> Sequence[SimpleEvent]:
+        """Events of ``sensor_id`` with ``after < timestamp <= until``."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# paper-definition matching of a materialised complex event
+# ---------------------------------------------------------------------------
+def complex_event_matches(subscription: Subscription, event: ComplexEvent) -> bool:
+    """The verbatim Section IV-A definition, for a concrete ``E``."""
+    t = event.timestamp
+    if any(t - e.timestamp >= subscription.delta_t for e in event.events):
+        return False
+    if isinstance(subscription, IdentifiedSubscription):
+        wanted = subscription.sensor_ids
+        seen = [e.sensor_id for e in event.events]
+        if len(seen) != len(wanted) or set(seen) != wanted:
+            return False
+        return all(subscription.matches_simple(e) for e in event.events)
+    wanted_attrs = subscription.attributes
+    seen_attrs = [e.attribute for e in event.events]
+    if len(seen_attrs) != len(wanted_attrs) or set(seen_attrs) != wanted_attrs:
+        return False
+    if not all(subscription.matches_simple(e) for e in event.events):
+        return False
+    return event.spatial_spread < subscription.delta_l
+
+
+# ---------------------------------------------------------------------------
+# operator-level window matching
+# ---------------------------------------------------------------------------
+def window_candidates(
+    operator: CorrelationOperator,
+    provider: SlotEventProvider,
+    trigger_time: float,
+) -> dict[str, list[SimpleEvent]]:
+    """Per-slot filter-matching events in ``(trigger_time - dt, trigger_time]``.
+
+    Slots with no candidate map to empty lists; the caller decides
+    whether the window is complete.
+    """
+    after = trigger_time - operator.delta_t
+    out: dict[str, list[SimpleEvent]] = {}
+    for slot in operator.slots:
+        hits: list[SimpleEvent] = []
+        for sensor_id in sorted(slot.sensors):
+            for event in provider.events_for_sensor(sensor_id, after, trigger_time):
+                if slot.accepts(event):
+                    hits.append(event)
+        out[slot.slot_id] = hits
+    return out
+
+
+def _combination_exists(
+    slot_candidates: Sequence[Sequence[SimpleEvent]], delta_l: float
+) -> bool:
+    """Whether one event per slot can be chosen with spread < delta_l."""
+    chosen: list[SimpleEvent] = []
+
+    def extend(i: int) -> bool:
+        if i == len(slot_candidates):
+            return True
+        for candidate in slot_candidates[i]:
+            if all(
+                candidate.location.distance_to(prev.location) < delta_l
+                for prev in chosen
+            ):
+                chosen.append(candidate)
+                if extend(i + 1):
+                    chosen.pop()
+                    return True
+                chosen.pop()
+        return False
+
+    return extend(0)
+
+
+def _participating(
+    slot_candidates: Mapping[str, list[SimpleEvent]], delta_l: float
+) -> dict[str, list[SimpleEvent]] | None:
+    """Candidates that take part in at least one valid combination.
+
+    With unbounded ``delta_l`` every candidate participates (any
+    combination is valid once every slot is filled).  With a finite
+    ``delta_l`` an event participates iff fixing it still leaves a valid
+    combination of the other slots.
+    """
+    ordered = sorted(slot_candidates)
+    lists = [slot_candidates[sid] for sid in ordered]
+    if any(not lst for lst in lists):
+        return None
+    if math.isinf(delta_l):
+        return {sid: list(slot_candidates[sid]) for sid in ordered}
+    if not _combination_exists(lists, delta_l):
+        return None
+    result: dict[str, list[SimpleEvent]] = {sid: [] for sid in ordered}
+    for i, sid in enumerate(ordered):
+        others = lists[:i] + lists[i + 1 :]
+        for candidate in lists[i]:
+            near = [
+                [
+                    e
+                    for e in lst
+                    if e.location.distance_to(candidate.location) < delta_l
+                ]
+                for lst in others
+            ]
+            if _combination_exists(near, delta_l):
+                result[sid].append(candidate)
+    return result
+
+
+def match_at_trigger(
+    operator: CorrelationOperator,
+    provider: SlotEventProvider,
+    trigger_time: float,
+) -> dict[str, list[SimpleEvent]] | None:
+    """Participants of matches whose maximum timestamp is ``trigger_time``.
+
+    None when the window is incomplete (some slot empty) or, for finite
+    ``delta_l``, no spatially valid combination exists.
+    """
+    candidates = window_candidates(operator, provider, trigger_time)
+    return _participating(candidates, operator.delta_l)
+
+
+def matches_involving(
+    operator: CorrelationOperator,
+    provider: SlotEventProvider,
+    event: SimpleEvent,
+) -> dict[str, list[SimpleEvent]]:
+    """All participants of matches the newly arrived ``event`` takes part in.
+
+    Scans the candidate-trigger windows that can contain ``event``:
+    ``event`` itself, and every already-stored filler with a timestamp in
+    ``[event.timestamp, event.timestamp + delta_t)`` (network delays may
+    deliver the true maximum before earlier-stamped members).  Returns
+    the per-slot union of participants, empty when ``event`` matches
+    nothing.
+    """
+    own_slot = operator.slot_for_event(event)
+    if own_slot is None:
+        return {}
+    trigger_times: set[float] = {event.timestamp}
+    horizon = event.timestamp + operator.delta_t
+    for slot in operator.slots:
+        for sensor_id in slot.sensors:
+            for later in provider.events_for_sensor(
+                sensor_id, event.timestamp, horizon
+            ):
+                # exclusive upper edge: |t* - t_event| < delta_t required
+                if later.timestamp < horizon and slot.accepts(later):
+                    trigger_times.add(later.timestamp)
+    union: dict[str, dict] = {s.slot_id: {} for s in operator.slots}
+    for t_star in sorted(trigger_times):
+        found = match_at_trigger(operator, provider, t_star)
+        if found is None:
+            continue
+        if not any(e.key == event.key for e in found.get(own_slot.slot_id, [])):
+            continue
+        for slot_id, events in found.items():
+            bucket = union[slot_id]
+            for e in events:
+                bucket[e.key] = e
+    if not any(union.values()):
+        return {}
+    return {
+        slot_id: sorted(bucket.values(), key=lambda e: (e.timestamp, e.key))
+        for slot_id, bucket in union.items()
+        if bucket
+    }
+
+
+def instance_exists(
+    operator: CorrelationOperator,
+    provider: SlotEventProvider,
+    trigger: SimpleEvent,
+) -> bool:
+    """Oracle primitive: does a match with maximum member ``trigger`` exist?
+
+    Used to enumerate ground-truth instances for the recall metric: an
+    instance is identified by (subscription, trigger event); it exists
+    iff the trigger fills a slot and every slot has a filler inside the
+    trigger-anchored window (with a spatially valid combination that
+    includes the trigger when ``delta_l`` is finite).
+    """
+    own_slot = operator.slot_for_event(trigger)
+    if own_slot is None:
+        return False
+    candidates = window_candidates(operator, provider, trigger.timestamp)
+    if any(not lst for lst in candidates.values()):
+        return False
+    if math.isinf(operator.delta_l):
+        return True
+    lists = []
+    for slot_id in sorted(candidates):
+        if slot_id == own_slot.slot_id:
+            lists.append([trigger])
+        else:
+            lists.append(
+                [
+                    e
+                    for e in candidates[slot_id]
+                    if e.location.distance_to(trigger.location) < operator.delta_l
+                ]
+            )
+    return _combination_exists(lists, operator.delta_l)
+
+
+def build_complex_events(
+    participants: Mapping[str, Sequence[SimpleEvent]],
+) -> ComplexEvent:
+    """Pack per-slot participants into one deliverable complex event.
+
+    When a slot holds several participants the earliest is chosen; the
+    deliverable then satisfies completeness with exactly one member per
+    slot.  (Users interested in every combination can re-expand from the
+    per-slot participants; the traffic metrics only depend on the set of
+    simple events forwarded, which is the participants' union.)
+    """
+    chosen = [
+        min(events, key=lambda e: (e.timestamp, e.key))
+        for events in participants.values()
+        if events
+    ]
+    return ComplexEvent(chosen)

@@ -1,0 +1,54 @@
+"""Network substrate: topology, links, messages, node storage, routing.
+
+Implements the system model of Section IV-B — processing nodes in an
+acyclic graph, advertisement/subscription/event propagation, per-link
+traffic metering and end-user delivery logging.
+"""
+
+from .delivery import DeliveryLog
+from .eventstore import EventStore
+from .links import LinkId, TrafficMeter, TrafficSnapshot
+from .messages import (
+    AdvertisementMessage,
+    EventMessage,
+    Message,
+    OperatorMessage,
+)
+from .network import Network, UNICAST_ORIGIN
+from .node import LOCAL, Node, SubscriptionStore
+from .routing import RoutingTable, graph_center
+from .topology import (
+    Deployment,
+    SensorPlacement,
+    build_deployment,
+    large_network,
+    large_sources,
+    medium_scale,
+    small_scale,
+)
+
+__all__ = [
+    "AdvertisementMessage",
+    "Deployment",
+    "DeliveryLog",
+    "EventMessage",
+    "EventStore",
+    "LOCAL",
+    "LinkId",
+    "Message",
+    "Network",
+    "Node",
+    "OperatorMessage",
+    "RoutingTable",
+    "SensorPlacement",
+    "SubscriptionStore",
+    "TrafficMeter",
+    "TrafficSnapshot",
+    "UNICAST_ORIGIN",
+    "build_deployment",
+    "graph_center",
+    "large_network",
+    "large_sources",
+    "medium_scale",
+    "small_scale",
+]

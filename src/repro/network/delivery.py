@@ -1,0 +1,78 @@
+"""End-user delivery accounting.
+
+Every approach ultimately hands simple events (or assembled complex
+events) to the subscribing user.  The log records, per subscription,
+exactly which simple events reached the user; the recall metric then
+replays the matching semantics over this delivered subset and compares
+against the offline oracle (see ``repro.metrics``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from ..model.events import EventKey, SimpleEvent
+
+
+class _DeliveredView:
+    """SlotEventProvider over one subscription's delivered events."""
+
+    def __init__(self, events: Iterable[SimpleEvent]) -> None:
+        self._by_sensor: dict[str, list[tuple[float, int, SimpleEvent]]] = {}
+        for event in events:
+            self._by_sensor.setdefault(event.sensor_id, []).append(
+                (event.timestamp, event.seq, event)
+            )
+        for timeline in self._by_sensor.values():
+            timeline.sort()
+
+    def events_for_sensor(
+        self, sensor_id: str, after: float, until: float
+    ) -> Sequence[SimpleEvent]:
+        timeline = self._by_sensor.get(sensor_id)
+        if not timeline:
+            return ()
+        lo = bisect.bisect_right(timeline, (after, float("inf")))
+        hi = bisect.bisect_right(timeline, (until, float("inf")))
+        return [entry[2] for entry in timeline[lo:hi]]
+
+
+class DeliveryLog:
+    """What each subscriber actually received."""
+
+    def __init__(self) -> None:
+        self._events: dict[str, dict[EventKey, SimpleEvent]] = {}
+        self.complex_deliveries: Counter[str] = Counter()
+        self.registered: set[str] = set()
+
+    def register(self, sub_id: str) -> None:
+        """Announce a subscription so zero-delivery cases are visible."""
+        self.registered.add(sub_id)
+        self._events.setdefault(sub_id, {})
+
+    def record_events(self, sub_id: str, events: Iterable[SimpleEvent]) -> None:
+        bucket = self._events.setdefault(sub_id, {})
+        for event in events:
+            bucket[event.key] = event
+
+    def record_complex(self, sub_id: str, count: int = 1) -> None:
+        self.complex_deliveries[sub_id] += count
+
+    # ------------------------------------------------------------------
+    def delivered(self, sub_id: str) -> Mapping[EventKey, SimpleEvent]:
+        return self._events.get(sub_id, {})
+
+    def delivered_count(self, sub_id: str) -> int:
+        return len(self._events.get(sub_id, {}))
+
+    def total_delivered(self) -> int:
+        return sum(len(bucket) for bucket in self._events.values())
+
+    def view(self, sub_id: str) -> _DeliveredView:
+        """Matching-compatible provider over the delivered events."""
+        return _DeliveredView(self._events.get(sub_id, {}).values())
+
+    def subscriptions(self) -> list[str]:
+        return sorted(self.registered | set(self._events))

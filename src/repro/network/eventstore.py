@@ -1,0 +1,105 @@
+"""Per-node event storage ``U`` (Figure 2 / Algorithm 5).
+
+All received simple events are stored together, indexed by producing
+sensor and ordered by timestamp, so the window matcher can ask for
+"events of sensor d with ``after < t <= until``" in logarithmic time.
+Events have a finite validity (Section IV-B): once older than the
+current time minus the validity they can no longer take part in any
+correlation (validity > delta_t by construction) and are pruned, which
+bounds node memory exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Sequence
+
+from ..model.events import EventKey, SimpleEvent
+
+
+class EventStore:
+    """Timestamp-ordered, sensor-indexed set of unexpired events."""
+
+    def __init__(self, validity: float) -> None:
+        if validity <= 0:
+            raise ValueError("validity must be positive")
+        self.validity = validity
+        self._by_sensor: dict[str, list[tuple[float, int, SimpleEvent]]] = {}
+        self._keys: set[EventKey] = set()
+        self._latest = float("-inf")
+
+    # ------------------------------------------------------------------
+    def add(self, event: SimpleEvent, now: float) -> bool:
+        """Insert ``event``; False when it is a duplicate or expired.
+
+        Insertion lazily prunes the sensor's timeline, so memory stays
+        bounded without a periodic sweep timer (the simulator agenda can
+        then run to quiescence).
+        """
+        if event.key in self._keys:
+            return False
+        if now - event.timestamp > self.validity:
+            return False
+        timeline = self._by_sensor.setdefault(event.sensor_id, [])
+        bisect.insort(timeline, (event.timestamp, event.seq, event))
+        self._keys.add(event.key)
+        self._latest = max(self._latest, event.timestamp)
+        self._prune_sensor(event.sensor_id, now)
+        return True
+
+    def __contains__(self, key: EventKey) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # ------------------------------------------------------------------
+    # the SlotEventProvider interface used by repro.model.matching
+    # ------------------------------------------------------------------
+    def events_for_sensor(
+        self, sensor_id: str, after: float, until: float
+    ) -> Sequence[SimpleEvent]:
+        """Stored events of ``sensor_id`` with ``after < t <= until``."""
+        timeline = self._by_sensor.get(sensor_id)
+        if not timeline:
+            return ()
+        lo = bisect.bisect_right(timeline, (after, float("inf")))
+        hi = bisect.bisect_right(timeline, (until, float("inf")))
+        return [entry[2] for entry in timeline[lo:hi]]
+
+    def all_events(self) -> Iterator[SimpleEvent]:
+        for timeline in self._by_sensor.values():
+            for _, _, event in timeline:
+                yield event
+
+    @property
+    def latest_timestamp(self) -> float:
+        """Largest timestamp ever inserted (-inf when empty)."""
+        return self._latest
+
+    # ------------------------------------------------------------------
+    def prune(self, now: float) -> list[EventKey]:
+        """Drop every expired event; returns the removed keys.
+
+        Callers use the removed keys to clean their per-event
+        forwarded-to flags.
+        """
+        removed: list[EventKey] = []
+        for sensor_id in list(self._by_sensor):
+            removed.extend(self._prune_sensor(sensor_id, now))
+        return removed
+
+    def _prune_sensor(self, sensor_id: str, now: float) -> list[EventKey]:
+        timeline = self._by_sensor.get(sensor_id)
+        if not timeline:
+            return []
+        horizon = now - self.validity
+        cut = bisect.bisect_right(timeline, (horizon, float("inf")))
+        if cut == 0:
+            return []
+        removed = [entry[2].key for entry in timeline[:cut]]
+        del timeline[:cut]
+        self._keys.difference_update(removed)
+        if not timeline:
+            del self._by_sensor[sensor_id]
+        return removed

@@ -1,0 +1,89 @@
+"""Message types exchanged between processing nodes.
+
+Data propagation in the system is three-fold (Section IV-B):
+advertisements, subscriptions (as correlation operators), and events.
+Each message knows how many *data units* it costs on a link, which is
+what the paper's two headline metrics count:
+
+* **subscription load** — one unit per correlation operator per link;
+* **publication load** — one unit per simple event per link for
+  publish/subscribe forwarding, and one unit per *(event, result-set
+  stream)* per link for the approaches that construct per-subscription
+  result sets (naive, operator placement, centralized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model.advertisements import Advertisement
+from ..model.events import SimpleEvent
+from ..model.operators import CorrelationOperator
+
+
+@dataclass(frozen=True, slots=True)
+class AdvertisementMessage:
+    """Flooded ``DSA_d`` (Algorithm 1)."""
+
+    advertisement: Advertisement
+
+    @property
+    def subscription_units(self) -> int:
+        return 0
+
+    @property
+    def event_units(self) -> int:
+        return 0
+
+    @property
+    def advertisement_units(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True, slots=True)
+class OperatorMessage:
+    """A correlation operator travelling the reverse advertisement path."""
+
+    operator: CorrelationOperator
+
+    @property
+    def subscription_units(self) -> int:
+        return 1
+
+    @property
+    def event_units(self) -> int:
+        return 0
+
+    @property
+    def advertisement_units(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True, slots=True)
+class EventMessage:
+    """A simple event on a link.
+
+    ``streams`` names the result-set streams (operator ids) the event
+    travels in for per-subscription forwarding; an empty tuple means
+    publish/subscribe forwarding where the link carries the event once
+    for everyone.  The unit cost follows the paper's accounting: one
+    per stream, or one in total for publish/subscribe.
+    """
+
+    event: SimpleEvent
+    streams: tuple[str, ...] = ()
+
+    @property
+    def subscription_units(self) -> int:
+        return 0
+
+    @property
+    def event_units(self) -> int:
+        return max(1, len(self.streams))
+
+    @property
+    def advertisement_units(self) -> int:
+        return 0
+
+
+Message = AdvertisementMessage | OperatorMessage | EventMessage

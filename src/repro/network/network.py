@@ -1,0 +1,144 @@
+"""The simulated overlay network tying nodes, links and the clock together.
+
+One :class:`Network` instance hosts one approach's node set on one
+deployment.  It owns the traffic meter (what the experiments read), the
+delivery log (what the recall metric reads) and the simulator; node
+implementations only ever call :meth:`send` / :meth:`unicast` and the
+injection helpers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..model.events import SimpleEvent
+from ..model.subscriptions import Subscription
+from ..sim import Simulator
+from .delivery import DeliveryLog
+from .links import TrafficMeter
+from .messages import EventMessage, Message, OperatorMessage
+from .routing import RoutingTable, graph_center
+from .topology import Deployment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+UNICAST_ORIGIN = "__unicast__"
+"""Origin marker for messages that arrive via multi-hop unicast."""
+
+
+class Network:
+    """Message fabric + bookkeeping for one simulated run."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        sim: Simulator | None = None,
+        latency: float = 0.05,
+        validity: float | None = None,
+        delta_t: float = 5.0,
+    ) -> None:
+        self.deployment = deployment
+        self.sim = sim if sim is not None else Simulator(seed=deployment.seed)
+        self.latency = latency
+        self.delta_t = delta_t
+        # Event validity (Section IV-B): longer than delta_t plus the
+        # worst-case transit so correlating events never expire early.
+        transit = deployment.diameter() * latency
+        floor = delta_t + transit + 1.0
+        self.validity = max(validity, floor) if validity is not None else 4 * floor
+        self.meter = TrafficMeter()
+        self.delivery = DeliveryLog()
+        self.nodes: dict[str, "Node"] = {}
+        self._routing: RoutingTable | None = None
+        self._center: str | None = None
+        self.dropped_subscriptions: list[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: "Node") -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        if node.node_id not in self.deployment.graph:
+            raise ValueError(f"{node.node_id!r} not in the deployment graph")
+        self.nodes[node.node_id] = node
+
+    def populate(self, node_factory) -> None:
+        """Create one node per graph vertex using ``node_factory(node_id, net)``."""
+        for node_id in sorted(self.deployment.graph.nodes):
+            self.add_node(node_factory(node_id, self))
+
+    def neighbors(self, node_id: str) -> list[str]:
+        return sorted(self.deployment.graph.neighbors(node_id))
+
+    # ------------------------------------------------------------------
+    # routing (centralized baseline only)
+    # ------------------------------------------------------------------
+    @property
+    def routing(self) -> RoutingTable:
+        if self._routing is None:
+            self._routing = RoutingTable(self.deployment.graph)
+        return self._routing
+
+    @property
+    def center(self) -> str:
+        if self._center is None:
+            self._center = graph_center(self.deployment.graph)
+        return self._center
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """One-hop transfer to a neighbour; charged per link."""
+        if dst not in self.deployment.graph[src]:
+            raise ValueError(f"{src!r} and {dst!r} are not neighbours")
+        self.meter.record((src, dst), message)
+        self.sim.schedule(
+            self.latency, lambda: self.nodes[dst].receive(message, src)
+        )
+
+    def unicast(self, src: str, dst: str, message: Message) -> None:
+        """Multi-hop transfer along the unique path; charged per hop.
+
+        Used by the centralized baseline.  Totals are exact (units x
+        hops); delivery happens once at the destination after the
+        path's cumulative latency — intermediate nodes only relay, they
+        never inspect centralized traffic.
+        """
+        if src == dst:
+            self.nodes[dst].receive(message, UNICAST_ORIGIN)
+            return
+        hops = self.routing.distance(src, dst)
+        first = self.routing.next_hop(src, dst)
+        self.meter.record((src, first), message, hops=hops)
+        self.sim.schedule(
+            self.latency * hops,
+            lambda: self.nodes[dst].receive(message, UNICAST_ORIGIN),
+        )
+
+    # ------------------------------------------------------------------
+    # workload injection
+    # ------------------------------------------------------------------
+    def attach_sensor(self, node_id: str, placement) -> None:
+        """Install a sensor and advertise it (Algorithm 1, local branch)."""
+        self.nodes[node_id].attach_sensor(placement.advertisement())
+
+    def attach_all_sensors(self) -> None:
+        for placement in self.deployment.sensors:
+            self.attach_sensor(placement.node_id, placement)
+
+    def inject_subscription(self, node_id: str, subscription: Subscription) -> None:
+        """Register a user subscription at ``node_id``."""
+        self.delivery.register(subscription.sub_id)
+        self.nodes[node_id].subscribe(subscription)
+
+    def publish(self, node_id: str, event: SimpleEvent) -> None:
+        """A locally attached sensor produced a reading."""
+        self.nodes[node_id].publish(event)
+
+    # ------------------------------------------------------------------
+    def run_to_quiescence(self, max_events: int | None = None) -> float:
+        """Drain the agenda (no timers persist — stores prune lazily)."""
+        return self.sim.run(max_events=max_events)

@@ -1,0 +1,347 @@
+"""The processing-node base class — storage layout of Figure 2 plus the
+machinery every approach shares.
+
+Each node keeps
+
+* ``ads`` — advertisements per neighbour (``DSA_m``) and local sensors;
+* ``stores[origin]`` — subscriptions/operators received from each
+  neighbour (``S_m``) or from local users (``S_local``), split into the
+  *uncovered* set (candidates for forwarding) and the *covered* set
+  (redundant for forwarding, still defining correlation needs);
+* ``store`` — the shared set ``U`` of unexpired simple events, ordered
+  by timestamp;
+* per-event forwarded-to flags (the ``sendTo`` array of Algorithm 5),
+  so no data unit crosses the same link twice in the same stream.
+
+Protocol behaviour — how subscriptions are filtered/split and how events
+are propagated — lives in the subclasses under ``repro.core`` (the
+Filter-Split-Forward contribution) and ``repro.baselines``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
+
+from ..model.advertisements import Advertisement, AdvertisementTable
+from ..model.events import EventKey, SimpleEvent
+from ..model.matching import matches_involving
+from ..model.operators import CorrelationOperator, root_operator
+from ..model.subscriptions import (
+    AbstractSubscription,
+    IdentifiedSubscription,
+    Subscription,
+)
+from .messages import (
+    AdvertisementMessage,
+    EventMessage,
+    Message,
+    OperatorMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+LOCAL = AdvertisementTable.LOCAL
+"""Origin marker for locally attached sensors / local users."""
+
+_PRUNE_EVERY = 64
+"""Lazy store-pruning cadence (events between sweeps)."""
+
+
+class SubscriptionStore:
+    """``S_m`` of Figure 2: operators received from one origin."""
+
+    def __init__(self) -> None:
+        self.uncovered: list[CorrelationOperator] = []
+        self.covered: list[CorrelationOperator] = []
+        self._by_sensor: dict[str, list[tuple[CorrelationOperator, bool]]] = {}
+
+    def add(self, operator: CorrelationOperator, covered: bool) -> None:
+        (self.covered if covered else self.uncovered).append(operator)
+        for sensor_id in operator.sensors:
+            self._by_sensor.setdefault(sensor_id, []).append((operator, covered))
+
+    def ops_for_sensor(
+        self, sensor_id: str, include_covered: bool
+    ) -> Iterator[CorrelationOperator]:
+        """Operators with a slot drawing from ``sensor_id``.
+
+        The event path only needs operators a new event could concern —
+        this index keeps per-event work proportional to the relevant
+        operators instead of the whole store.
+        """
+        for operator, is_covered in self._by_sensor.get(sensor_id, ()):
+            if include_covered or not is_covered:
+                yield operator
+
+    def same_signature_uncovered(
+        self, operator: CorrelationOperator
+    ) -> list[CorrelationOperator]:
+        """The comparison set for subsumption checks (arrival order)."""
+        return [
+            op for op in self.uncovered if op.signature == operator.signature
+        ]
+
+    def all_operators(self) -> Iterator[CorrelationOperator]:
+        yield from self.uncovered
+        yield from self.covered
+
+    def __len__(self) -> int:
+        return len(self.uncovered) + len(self.covered)
+
+
+class Node:
+    """Base processing node; subclasses implement the protocol hooks."""
+
+    def __init__(self, node_id: str, network: "Network") -> None:
+        self.node_id = node_id
+        self.network = network
+        self.ads = AdvertisementTable()
+        self.stores: dict[str, SubscriptionStore] = {}
+        self.local_subscriptions: list[tuple[Subscription, CorrelationOperator]] = []
+        self._local_by_sensor: dict[
+            str, list[tuple[Subscription, CorrelationOperator]]
+        ] = {}
+        from .eventstore import EventStore  # local import avoids cycles
+
+        self.store = EventStore(network.validity)
+        self._sent: dict[EventKey, set[Hashable]] = {}
+        self._adds_since_prune = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def neighbors(self) -> list[str]:
+        return self.network.neighbors(self.node_id)
+
+    @property
+    def now(self) -> float:
+        return self.network.sim.now
+
+    def receive(self, message: Message, origin: str) -> None:
+        """Dispatch a delivered message to the protocol hooks."""
+        if isinstance(message, AdvertisementMessage):
+            self.handle_advertisement(message.advertisement, origin)
+        elif isinstance(message, OperatorMessage):
+            self.handle_operator(message.operator, origin)
+        elif isinstance(message, EventMessage):
+            self.handle_event(message.event, origin, message.streams)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown message {message!r}")
+
+    def store_for(self, origin: str) -> SubscriptionStore:
+        store = self.stores.get(origin)
+        if store is None:
+            store = self.stores[origin] = SubscriptionStore()
+        return store
+
+    # ------------------------------------------------------------------
+    # sending helpers
+    # ------------------------------------------------------------------
+    def send_operator(self, neighbor: str, operator: CorrelationOperator) -> None:
+        self.network.send(self.node_id, neighbor, OperatorMessage(operator))
+
+    def send_event(
+        self, neighbor: str, event: SimpleEvent, streams: tuple[str, ...] = ()
+    ) -> None:
+        self.network.send(self.node_id, neighbor, EventMessage(event, streams))
+
+    def was_sent(self, key: EventKey, tag: Hashable) -> bool:
+        tags = self._sent.get(key)
+        return tags is not None and tag in tags
+
+    def mark_sent(self, key: EventKey, tag: Hashable) -> None:
+        self._sent.setdefault(key, set()).add(tag)
+
+    # ------------------------------------------------------------------
+    # injection entry points
+    # ------------------------------------------------------------------
+    def attach_sensor(self, advertisement: Advertisement) -> None:
+        """Algorithm 1, lines 2-7: local sensor appears, flood its DSA."""
+        if not self.ads.add_local(advertisement):
+            return
+        for neighbor in self.neighbors:
+            self.network.send(
+                self.node_id, neighbor, AdvertisementMessage(advertisement)
+            )
+
+    def publish(self, event: SimpleEvent) -> None:
+        """A locally attached sensor produced a reading."""
+        self.handle_event(event, LOCAL, ())
+
+    def subscribe(self, subscription: Subscription) -> None:
+        """Register a local user subscription.
+
+        Resolves abstract subscriptions against the advertisement table
+        (local knowledge only — the table was filled by flooding) and
+        performs the absent-sources check of Algorithm 3, line 3.
+        """
+        root = self.build_root_operator(subscription)
+        if root is None:
+            self.network.dropped_subscriptions.append(subscription.sub_id)
+            return
+        self.local_subscriptions.append((subscription, root))
+        for sensor_id in root.sensors:
+            self._local_by_sensor.setdefault(sensor_id, []).append(
+                (subscription, root)
+            )
+        self.handle_operator(root, LOCAL)
+
+    def build_root_operator(
+        self, subscription: Subscription
+    ) -> CorrelationOperator | None:
+        """Root operator, or None when some source is absent."""
+        if isinstance(subscription, IdentifiedSubscription):
+            if not all(self.ads.knows(s) for s in subscription.sensor_ids):
+                return None
+            return root_operator(subscription, self.node_id)
+        assert isinstance(subscription, AbstractSubscription)
+        resolved = subscription.resolve(self.ads)
+        if any(not ads for ads in resolved.values()):
+            return None
+        sensors = {
+            attr: [ad.sensor_id for ad in ads] for attr, ads in resolved.items()
+        }
+        return root_operator(subscription, self.node_id, sensors)
+
+    # ------------------------------------------------------------------
+    # protocol hooks
+    # ------------------------------------------------------------------
+    def handle_advertisement(self, advertisement: Advertisement, origin: str) -> None:
+        """Algorithm 1, lines 8-13: store and flood onwards."""
+        if not self.ads.add(origin, advertisement):
+            return
+        for neighbor in self.neighbors:
+            if neighbor != origin:
+                self.network.send(
+                    self.node_id, neighbor, AdvertisementMessage(advertisement)
+                )
+
+    def handle_operator(self, operator: CorrelationOperator, origin: str) -> None:
+        raise NotImplementedError
+
+    def handle_event(
+        self, event: SimpleEvent, origin: str, streams: tuple[str, ...]
+    ) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared event-path building blocks
+    # ------------------------------------------------------------------
+    def ingest(self, event: SimpleEvent) -> bool:
+        """Insert into ``U``; False for duplicates/expired (drop & stop)."""
+        if not self.store.add(event, self.now):
+            return False
+        self._adds_since_prune += 1
+        if self._adds_since_prune >= _PRUNE_EVERY:
+            self._adds_since_prune = 0
+            for key in self.store.prune(self.now):
+                self._sent.pop(key, None)
+        return True
+
+    def deliver_local_matches(self, event: SimpleEvent) -> None:
+        """Final, exact matching against whole local subscriptions.
+
+        Algorithm 5, line 14-15: for ``j == n`` the whole local
+        subscriptions are checked and matching complex events delivered
+        to the user.  Participants are logged for the recall metric.
+        """
+        for subscription, root in self._local_by_sensor.get(event.sensor_id, ()):
+            participants = matches_involving(root, self.store, event)
+            if not participants:
+                continue
+            delivered = [e for events in participants.values() for e in events]
+            self.network.delivery.record_events(subscription.sub_id, delivered)
+            self.network.delivery.record_complex(subscription.sub_id)
+
+    def split_targets(
+        self, operator: CorrelationOperator, exclude: Iterable[str] = ()
+    ) -> dict[str, CorrelationOperator]:
+        """Algorithm 3, lines 7-9: project the operator per neighbour.
+
+        Partitions the operator's sensors by the reverse advertisement
+        path and returns ``{neighbour: projected operator}`` — the
+        deterministic split the paper uses.  Locally attached sensors
+        need no forwarding and are skipped, as are excluded origins
+        (normally the one the operator came from).
+        """
+        partition = self.ads.partition_by_origin(operator.sensors)
+        partition.pop(LOCAL, None)
+        for origin in exclude:
+            partition.pop(origin, None)
+        targets: dict[str, CorrelationOperator] = {}
+        for neighbor, sensor_ids in sorted(partition.items()):
+            piece = operator.project_sensors(sensor_ids)
+            if piece is not None:
+                targets[neighbor] = piece
+        return targets
+
+    def pubsub_forward(
+        self,
+        event: SimpleEvent,
+        sender: str,
+        include_covered: bool = False,
+    ) -> None:
+        """Per-neighbour publish/subscribe forwarding (Algorithm 5).
+
+        For every neighbour ``j`` (except the sender), the event — and
+        any stored events it newly correlates with — is forwarded iff it
+        participates in a complex match of an operator received from
+        ``j``, at most once per link.
+        """
+        for neighbor in self.neighbors:
+            if neighbor == sender:
+                continue
+            store = self.stores.get(neighbor)
+            if store is None:
+                continue
+            outgoing: dict[EventKey, SimpleEvent] = {}
+            for operator in store.ops_for_sensor(event.sensor_id, include_covered):
+                participants = matches_involving(operator, self.store, event)
+                for events in participants.values():
+                    for member in events:
+                        if not self.was_sent(member.key, neighbor):
+                            outgoing[member.key] = member
+            for key, member in sorted(outgoing.items()):
+                self.mark_sent(key, neighbor)
+                self.send_event(neighbor, member)
+
+    def stream_forward(
+        self,
+        event: SimpleEvent,
+        sender: str,
+        include_covered: bool,
+    ) -> None:
+        """Per-subscription result-set forwarding (naive / operator
+        placement).
+
+        Every stored operator is its own result stream: an event is sent
+        once per (operator stream, link), so overlapping subscriptions
+        pay repeatedly — exactly the redundancy the paper attributes to
+        these approaches.  With ``include_covered`` the streams of
+        operators covered *at this node* are generated here from the
+        covering operator's incoming stream (Section III-A: the covered
+        operator "generates traffic only from the node where coverage
+        was detected, to the user's node").
+        """
+        for neighbor in self.neighbors:
+            if neighbor == sender:
+                continue
+            store = self.stores.get(neighbor)
+            if store is None:
+                continue
+            outgoing: dict[EventKey, tuple[SimpleEvent, list[str]]] = {}
+            for operator in store.ops_for_sensor(event.sensor_id, include_covered):
+                participants = matches_involving(operator, self.store, event)
+                if not participants:
+                    continue
+                tag = (operator.op_id, neighbor)
+                for events in participants.values():
+                    for member in events:
+                        if not self.was_sent(member.key, tag):
+                            self.mark_sent(member.key, tag)
+                            entry = outgoing.setdefault(member.key, (member, []))
+                            entry[1].append(operator.op_id)
+            for key, (member, streams) in sorted(outgoing.items()):
+                self.send_event(neighbor, member, tuple(sorted(streams)))

@@ -1,0 +1,204 @@
+"""Deployment topologies emulating the SensorScope setup (Section VI-A).
+
+The experiments group "nodes with sensors from the same base station in
+a vicinity, such that they are neighbors": each base-station *group*
+contributes one sensor node per measured attribute (5 in the paper),
+all attached to a relay; relays form a random tree backbone, so the
+whole overlay is the acyclic graph the system model requires.  Users
+(subscription entry points) sit on relay nodes.
+
+Four named deployments mirror the paper's experiments:
+
+=================  ======  ========  =======  ===============
+experiment         nodes   sensors   groups   figures
+=================  ======  ========  =======  ===============
+small scale        60      50        10       4, 5
+medium scale       100     50        10       6, 7 (+ centralized)
+large (network)    200     50        10       8, 9
+large (sources)    200     100       20       10, 11
+=================  ======  ========  =======  ===============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..model.advertisements import Advertisement
+from ..model.attributes import AttributeType, SENSORSCOPE_ATTRIBUTES
+from ..model.locations import Location
+
+
+@dataclass(frozen=True, slots=True)
+class SensorPlacement:
+    """One deployed sensor: identity, type, site and hosting node."""
+
+    sensor_id: str
+    attribute: AttributeType
+    location: Location
+    node_id: str
+    group: int
+
+    def advertisement(self) -> Advertisement:
+        return Advertisement(self.sensor_id, self.attribute.name, self.location)
+
+
+@dataclass
+class Deployment:
+    """An experiment topology: overlay graph + sensor placements."""
+
+    graph: nx.Graph
+    sensors: list[SensorPlacement]
+    groups: dict[int, list[SensorPlacement]]
+    relay_nodes: list[str]
+    group_heads: dict[int, str]
+    seed: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def sensor_nodes(self) -> dict[str, SensorPlacement]:
+        return {s.node_id: s for s in self.sensors}
+
+    @property
+    def user_nodes(self) -> list[str]:
+        """Nodes where user subscriptions may be injected (the relays)."""
+        return list(self.relay_nodes)
+
+    def sensors_of_group(self, group: int) -> list[SensorPlacement]:
+        return list(self.groups[group])
+
+    def sensor_by_id(self, sensor_id: str) -> SensorPlacement:
+        for s in self.sensors:
+            if s.sensor_id == sensor_id:
+                return s
+        raise KeyError(sensor_id)
+
+    def diameter(self) -> int:
+        return nx.diameter(self.graph)
+
+    def validate(self) -> None:
+        """Assert the structural invariants the protocols rely on."""
+        if not nx.is_tree(self.graph):
+            raise ValueError("the overlay must be acyclic and connected")
+        hosted = [s.node_id for s in self.sensors]
+        if len(set(hosted)) != len(hosted):
+            raise ValueError("one sensor per sensor node")
+        if set(hosted) & set(self.relay_nodes):
+            raise ValueError("relay nodes must not host sensors")
+
+
+def _attach_random_tree(
+    graph: nx.Graph, nodes: Sequence[str], rng: np.random.Generator
+) -> None:
+    """Random recursive tree over ``nodes`` (each attaches to an earlier one)."""
+    for i, node in enumerate(nodes):
+        graph.add_node(node)
+        if i == 0:
+            continue
+        parent = nodes[int(rng.integers(0, i))]
+        graph.add_edge(node, parent)
+
+
+def build_deployment(
+    n_nodes: int,
+    n_groups: int,
+    attributes: Sequence[AttributeType] = SENSORSCOPE_ATTRIBUTES,
+    seed: int = 0,
+    area_size: float = 100.0,
+    station_spread: float = 1.0,
+) -> Deployment:
+    """Build a grouped deployment.
+
+    ``n_nodes`` total processing nodes; each of the ``n_groups`` base
+    stations hosts ``len(attributes)`` sensor nodes (one per attribute),
+    the rest are relays.  Groups are placed on a jittered grid inside an
+    ``area_size``-sized square; a group's sensors sit within
+    ``station_spread`` of its station, so spatial correlation distances
+    (delta_l) distinguish in-group from cross-group events.
+    """
+    n_sensor_nodes = n_groups * len(attributes)
+    n_relays = n_nodes - n_sensor_nodes
+    if n_relays < max(1, n_groups):
+        raise ValueError(
+            f"{n_nodes} nodes cannot host {n_sensor_nodes} sensor nodes "
+            f"plus at least {max(1, n_groups)} relays"
+        )
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+
+    relays = [f"r{i}" for i in range(n_relays)]
+    _attach_random_tree(graph, relays, rng)
+
+    # Station coordinates: jittered grid covering the area.
+    side = int(np.ceil(np.sqrt(n_groups)))
+    cell = area_size / side
+    coords: list[Location] = []
+    for g in range(n_groups):
+        gx, gy = g % side, g // side
+        x = (gx + 0.5) * cell + float(rng.uniform(-0.2, 0.2)) * cell
+        y = (gy + 0.5) * cell + float(rng.uniform(-0.2, 0.2)) * cell
+        coords.append(Location(x, y))
+
+    # Spread the group heads over the relay backbone.
+    head_ids = [int(i) for i in rng.choice(n_relays, size=n_groups, replace=False)]
+    group_heads = {g: relays[h] for g, h in enumerate(head_ids)}
+
+    sensors: list[SensorPlacement] = []
+    groups: dict[int, list[SensorPlacement]] = {g: [] for g in range(n_groups)}
+    for g in range(n_groups):
+        head = group_heads[g]
+        station = coords[g]
+        # The group's sensor nodes form a chain hanging off the head —
+        # "nodes with sensors from the same base station in a vicinity,
+        # such that they are neighbors".  The chain makes subscription
+        # splitting progressive (operators shed one slot per hop), which
+        # is where the filter/split machinery earns its keep.
+        previous = head
+        for attribute in attributes:
+            short = "".join(w[0] for w in attribute.name.split("_"))
+            sensor_id = f"d{g}_{short}"
+            node_id = f"s{g}_{short}"
+            offset_x = float(rng.uniform(-station_spread, station_spread))
+            offset_y = float(rng.uniform(-station_spread, station_spread))
+            placement = SensorPlacement(
+                sensor_id,
+                attribute,
+                Location(station.x + offset_x, station.y + offset_y),
+                node_id,
+                g,
+            )
+            sensors.append(placement)
+            groups[g].append(placement)
+            graph.add_node(node_id)
+            graph.add_edge(node_id, previous)
+            previous = node_id
+
+    deployment = Deployment(graph, sensors, groups, relays, group_heads, seed)
+    deployment.validate()
+    return deployment
+
+
+def small_scale(seed: int = 0) -> Deployment:
+    """60 nodes, 50 sensor nodes, 10 groups (Figs 4-5)."""
+    return build_deployment(60, 10, seed=seed)
+
+
+def medium_scale(seed: int = 0) -> Deployment:
+    """100 nodes, 50 sensor nodes, 10 groups (Figs 6-7)."""
+    return build_deployment(100, 10, seed=seed)
+
+
+def large_network(seed: int = 0) -> Deployment:
+    """200 nodes, 50 sensor nodes, 10 groups (Figs 8-9)."""
+    return build_deployment(200, 10, seed=seed)
+
+
+def large_sources(seed: int = 0) -> Deployment:
+    """200 nodes, 100 sensor nodes, 20 groups (Figs 10-11)."""
+    return build_deployment(200, 20, seed=seed)

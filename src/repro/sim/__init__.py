@@ -1,0 +1,10 @@
+"""Deterministic discrete-event simulation kernel (substrate).
+
+Stands in for the paper's Xen-cluster deployment: node logic is the
+same message-driven code, executed under virtual time with seeded
+randomness instead of on 30-VMs-per-quadcore hardware.
+"""
+
+from .core import Handle, SimulationError, Simulator
+
+__all__ = ["Handle", "SimulationError", "Simulator"]

@@ -1,0 +1,202 @@
+"""A small deterministic discrete-event simulation kernel.
+
+The paper evaluated a Java implementation on a Xen cluster; its metrics
+are message counts, so a discrete-event simulation of the same
+message-driven node logic reproduces them exactly while staying
+deterministic and seedable (see DESIGN.md, substitution table).
+
+The kernel is deliberately minimal and dependency-free:
+
+* a binary-heap agenda of ``(time, priority, seq, action)`` entries —
+  ``seq`` gives FIFO order among simultaneous events, so runs are fully
+  reproducible;
+* callback scheduling (:meth:`Simulator.schedule` / :meth:`Simulator.at`)
+  for the network substrate;
+* generator *processes* (:meth:`Simulator.process`) that ``yield`` delays
+  — the SimPy idiom — used by sensor replay loops;
+* named, seeded random streams so independent model components draw from
+  independent generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Optional
+
+import numpy as np
+
+Action = Callable[[], None]
+ProcessGenerator = Generator[float, None, None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    priority: int
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Handle:
+    """Cancellation handle returned by the scheduling calls."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the action from running (no-op if already run)."""
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class Simulator:
+    """Event loop with virtual time.
+
+    ``Simulator(seed=...)`` fixes every random stream derived via
+    :meth:`rng`; two simulators with equal seeds and equal scheduling
+    sequences produce identical runs.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._agenda: list[_Entry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._seed = seed
+        self._rngs: dict[str, np.random.Generator] = {}
+        self.processed_events = 0
+
+    # ------------------------------------------------------------------
+    # time & randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def rng(self, stream: str) -> np.random.Generator:
+        """A named random stream, derived deterministically from the seed.
+
+        Distinct names give independent generators; repeated calls with
+        the same name return the same generator instance.
+        """
+        if stream not in self._rngs:
+            root = self._seed if self._seed is not None else 0
+            key = abs(hash((root, stream))) % (2**63)
+            self._rngs[stream] = np.random.default_rng(key)
+        return self._rngs[stream]
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, action: Action, priority: int = 0) -> Handle:
+        """Run ``action`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:g}; now is {self._now:g}"
+            )
+        entry = _Entry(time, priority, next(self._seq), action)
+        heapq.heappush(self._agenda, entry)
+        return Handle(entry)
+
+    def schedule(self, delay: float, action: Action, priority: int = 0) -> Handle:
+        """Run ``action`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay:g}")
+        return self.at(self._now + delay, action, priority)
+
+    def process(self, generator: ProcessGenerator) -> None:
+        """Drive a generator process: each ``yield d`` sleeps ``d`` units.
+
+        The process ends when the generator returns.  Exceptions inside
+        the generator propagate out of :meth:`run` — silent failures
+        would corrupt experiments.
+        """
+
+        def step() -> None:
+            try:
+                delay = next(generator)
+            except StopIteration:
+                return
+            if delay < 0:
+                raise SimulationError("process yielded a negative delay")
+            self.schedule(delay, step)
+
+        # First step runs at the current time, after already-queued
+        # simultaneous events (FIFO order from the sequence counter).
+        self.schedule(0.0, step)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute the agenda; returns the final virtual time.
+
+        ``until`` stops the clock at an absolute time (inclusive of the
+        events scheduled exactly there); ``max_events`` guards against
+        runaways in tests.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            count = 0
+            while self._agenda:
+                entry = self._agenda[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._agenda)
+                if entry.cancelled:
+                    continue
+                self._now = entry.time
+                entry.action()
+                self.processed_events += 1
+                count += 1
+                if max_events is not None and count >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one pending event; False when agenda is empty."""
+        while self._agenda:
+            entry = heapq.heappop(self._agenda)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.action()
+            self.processed_events += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) entries still queued."""
+        return sum(1 for e in self._agenda if not e.cancelled)
+
+    def drain(self, actions: Iterable[Action]) -> None:
+        """Schedule several immediate actions and run them to quiescence."""
+        for action in actions:
+            self.schedule(0.0, action)
+        self.run()

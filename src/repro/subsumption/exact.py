@@ -1,0 +1,126 @@
+"""Exact set-subsumption decision for boxes (ground truth).
+
+Set subsumption — is a new subscription's box contained in the *union*
+of stored boxes — is co-NP complete in general [21]; for axis-aligned
+closed boxes an exact decision is still exponential in the dimension but
+perfectly feasible at test scale.  This module provides that decision
+via coordinate compression, and is used to
+
+* validate the probabilistic set filter (its "not covered" answers must
+  always agree, its "covered" answers must agree up to the configured
+  error), and
+* compute ground-truth subsumption in unit tests and ablations.
+
+The decision procedure: collect the endpoint coordinates of all boxes in
+each dimension, restrict to the target box, and probe every grid point
+built from endpoints and midpoints of consecutive endpoints.  Because
+the union of closed boxes is closed, the uncovered region (if any) is
+relatively open inside the target and therefore contains one of these
+probe points, so the test is exact — see ``tests/test_subsumption_exact.py``
+for the adversarial cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..model.intervals import Interval
+
+Box = tuple[Interval, ...]
+
+
+class ExactCoverTooLarge(RuntimeError):
+    """The probe grid exceeded the configured budget."""
+
+
+def _probe_coordinates(target: Interval, boxes: Sequence[Box], dim: int) -> list[float]:
+    """Probe coordinates of one dimension: endpoints and midpoints."""
+    coords = {target.lo, target.hi}
+    for box in boxes:
+        iv = box[dim]
+        for value in (iv.lo, iv.hi):
+            if target.contains(value):
+                coords.add(value)
+    ordered = sorted(coords)
+    probes = list(ordered)
+    for a, b in zip(ordered, ordered[1:]):
+        probes.append((a + b) / 2.0)
+    return sorted(probes)
+
+
+def _point_in_box(point: Sequence[float], box: Box) -> bool:
+    return all(iv.contains(x) for iv, x in zip(box, point))
+
+
+def boxes_cover(
+    target: Box,
+    cover: Sequence[Box],
+    max_probes: int = 2_000_000,
+) -> bool:
+    """Exact test: is ``target`` contained in the union of ``cover``?
+
+    All boxes must share the dimension of ``target``.  Empty targets are
+    trivially covered; boxes with an empty side contribute nothing.
+    Raises :class:`ExactCoverTooLarge` when the probe grid would exceed
+    ``max_probes`` points (keep the dimension/box count small — this is
+    a validation tool, not the production filter).
+    """
+    if any(iv.is_empty for iv in target):
+        return True
+    live = [
+        box
+        for box in cover
+        if len(box) == len(target)
+        and not any(iv.is_empty for iv in box)
+        and all(a.overlaps(b) for a, b in zip(box, target))
+    ]
+    for box in live:
+        if all(b.contains_interval(t) for b, t in zip(box, target)):
+            return True
+    if not live:
+        return False
+
+    grids = [_probe_coordinates(target[d], live, d) for d in range(len(target))]
+    total = 1
+    for grid in grids:
+        total *= len(grid)
+        if total > max_probes:
+            raise ExactCoverTooLarge(
+                f"probe grid of {total}+ points exceeds budget {max_probes}"
+            )
+    for point in itertools.product(*grids):
+        if not any(_point_in_box(point, box) for box in live):
+            return False
+    return True
+
+
+def uncovered_probe(
+    target: Box,
+    cover: Sequence[Box],
+    max_probes: int = 2_000_000,
+) -> tuple[float, ...] | None:
+    """A witness point of ``target`` outside the union, if one exists.
+
+    Same grid as :func:`boxes_cover`; used by tests to exhibit the gap
+    behind a false-positive subsumption decision.
+    """
+    if any(iv.is_empty for iv in target):
+        return None
+    live = [
+        box
+        for box in cover
+        if len(box) == len(target) and not any(iv.is_empty for iv in box)
+    ]
+    grids = [_probe_coordinates(target[d], live, d) for d in range(len(target))]
+    total = 1
+    for grid in grids:
+        total *= len(grid)
+        if total > max_probes:
+            raise ExactCoverTooLarge(
+                f"probe grid of {total}+ points exceeds budget {max_probes}"
+            )
+    for point in itertools.product(*grids):
+        if not any(_point_in_box(point, box) for box in live):
+            return point
+    return None

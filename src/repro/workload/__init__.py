@@ -1,0 +1,49 @@
+"""Workload substrate: synthetic SensorScope replay + subscriptions."""
+
+from .scenarios import (
+    ALL_SCENARIOS,
+    LARGE_NETWORK,
+    LARGE_SOURCES,
+    MEDIUM,
+    SCALE_ENV_VAR,
+    SMALL,
+    Scenario,
+    default_scale,
+)
+from .sensorscope import Replay, ReplayConfig, build_replay
+from .streams import (
+    STREAM_PROFILES,
+    StreamProfile,
+    profile_for,
+    station_offset,
+    synthesize_stream,
+)
+from .subscriptions import (
+    PlacedSubscription,
+    SubscriptionWorkloadConfig,
+    generate_subscriptions,
+    prefix,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "LARGE_NETWORK",
+    "LARGE_SOURCES",
+    "MEDIUM",
+    "PlacedSubscription",
+    "Replay",
+    "ReplayConfig",
+    "SCALE_ENV_VAR",
+    "SMALL",
+    "STREAM_PROFILES",
+    "Scenario",
+    "StreamProfile",
+    "SubscriptionWorkloadConfig",
+    "build_replay",
+    "default_scale",
+    "generate_subscriptions",
+    "prefix",
+    "profile_for",
+    "station_offset",
+    "synthesize_stream",
+]

@@ -1,0 +1,115 @@
+"""The four experiment scenarios of Section VI, scale-aware.
+
+Node counts always match the paper; subscription counts and replay
+length scale with ``REPRO_SCALE`` (default 0.1) so the full figure
+suite runs in minutes on a laptop.  ``scale=1.0`` reproduces the
+paper's subscription axis (100..1000).  Shapes — orderings, margins,
+crossovers — are stable across scales; EXPERIMENTS.md records the scale
+every published number was measured at.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from ..network.topology import (
+    Deployment,
+    large_network,
+    large_sources,
+    medium_scale,
+    small_scale,
+)
+from .sensorscope import ReplayConfig
+from .subscriptions import SubscriptionWorkloadConfig
+
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+
+def default_scale() -> float:
+    """Workload scale factor, overridable via the environment."""
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if raw is None:
+        return 0.1
+    scale = float(raw)
+    if not 0 < scale <= 1:
+        raise ValueError(f"{SCALE_ENV_VAR} must be in (0, 1], got {raw}")
+    return scale
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment setting: deployment + workload axes."""
+
+    key: str
+    title: str
+    deployment_factory: Callable[[int], Deployment]
+    paper_subscription_counts: tuple[int, ...]
+    attrs_min: int = 5
+    attrs_max: int = 5
+    include_centralized: bool = False
+    replay: ReplayConfig = field(default_factory=ReplayConfig)
+    delta_t: float = 5.0
+    seed: int = 0
+
+    def deployment(self) -> Deployment:
+        return self.deployment_factory(self.seed)
+
+    def subscription_counts(self, scale: float | None = None) -> list[int]:
+        """The measurement axis, scaled (at least 2 points, >= 5 subs)."""
+        s = default_scale() if scale is None else scale
+        counts = sorted({max(5, round(c * s)) for c in self.paper_subscription_counts})
+        return counts
+
+    def workload_config(self, n: int) -> SubscriptionWorkloadConfig:
+        return SubscriptionWorkloadConfig(
+            n_subscriptions=n,
+            attrs_min=self.attrs_min,
+            attrs_max=self.attrs_max,
+            delta_t=self.delta_t,
+            seed=self.seed + 17,
+        )
+
+    def with_seed(self, seed: int) -> "Scenario":
+        return replace(self, seed=seed)
+
+
+_PAPER_AXIS_1000 = tuple(range(100, 1001, 100))
+_PAPER_AXIS_900 = tuple(range(100, 901, 100))
+
+
+SMALL = Scenario(
+    key="small",
+    title="Small scale (60 nodes, 50 sensors, 10 groups)",
+    deployment_factory=small_scale,
+    paper_subscription_counts=_PAPER_AXIS_1000,
+    attrs_min=3,
+    attrs_max=5,
+)
+
+MEDIUM = Scenario(
+    key="medium",
+    title="Medium scale (100 nodes, 50 sensors, 10 groups)",
+    deployment_factory=medium_scale,
+    paper_subscription_counts=_PAPER_AXIS_900,
+    include_centralized=True,
+)
+
+LARGE_NETWORK = Scenario(
+    key="large_network",
+    title="Large scale #1 - network (200 nodes, 50 sensors, 10 groups)",
+    deployment_factory=large_network,
+    paper_subscription_counts=_PAPER_AXIS_900,
+)
+
+LARGE_SOURCES = Scenario(
+    key="large_sources",
+    title="Large scale #2 - sources (200 nodes, 100 sensors, 20 groups)",
+    deployment_factory=large_sources,
+    paper_subscription_counts=_PAPER_AXIS_900,
+)
+
+ALL_SCENARIOS: dict[str, Scenario] = {
+    s.key: s for s in (SMALL, MEDIUM, LARGE_NETWORK, LARGE_SOURCES)
+}

@@ -1,0 +1,114 @@
+"""Event replay: turning synthetic streams into timestamped publications.
+
+Sensors publish in rounds (one reading per sensor per round) with a
+per-sensor, per-round jitter smaller than the temporal correlation
+distance — readings of one round correlate, consecutive rounds do not
+bleed into each other, mirroring the fixed sampling intervals of the
+SensorScope stations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..model.events import SimpleEvent
+from ..network.topology import Deployment
+from .streams import station_offset, synthesize_stream
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayConfig:
+    """Shape of the replayed measurement campaign."""
+
+    rounds: int = 24
+    round_period: float = 10.0
+    jitter: float = 2.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 0 <= self.jitter < self.round_period / 2:
+            raise ValueError("jitter must be in [0, round_period/2)")
+
+
+@dataclass
+class Replay:
+    """A fully materialised replay: events plus per-sensor statistics."""
+
+    events: list[SimpleEvent]
+    medians: dict[str, float]
+    spreads: dict[str, float]
+    config: ReplayConfig
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    def events_of_sensor(self, sensor_id: str) -> list[SimpleEvent]:
+        return [e for e in self.events if e.sensor_id == sensor_id]
+
+    def shifted(self, offset: float) -> list[SimpleEvent]:
+        """The same events with timestamps moved by ``offset``.
+
+        The runner aligns data time with simulation time by shifting
+        the replay to start at the instant the subscription phase
+        finished.
+        """
+        return [
+            SimpleEvent(
+                e.sensor_id,
+                e.attribute,
+                e.location,
+                e.value,
+                e.timestamp + offset,
+                e.seq,
+            )
+            for e in self.events
+        ]
+
+
+def build_replay(deployment: Deployment, config: ReplayConfig | None = None) -> Replay:
+    """Synthesise the measurement campaign for a deployment.
+
+    Deterministic in ``(deployment.seed, config.seed)``; every sensor
+    contributes exactly ``config.rounds`` readings.  The returned
+    medians feed the subscription generator ("ranges ... centered
+    around the median values in the corresponding stream").
+    """
+    cfg = config or ReplayConfig()
+    events: list[SimpleEvent] = []
+    medians: dict[str, float] = {}
+    spreads: dict[str, float] = {}
+    for placement in deployment.sensors:
+        rng = np.random.default_rng(
+            (hash((deployment.seed, cfg.seed, placement.sensor_id)) & 0x7FFFFFFF)
+        )
+        offset = station_offset(placement.attribute, placement.group, rng)
+        values = synthesize_stream(
+            placement.attribute, cfg.rounds, cfg.round_period, rng, offset
+        )
+        medians[placement.sensor_id] = float(np.median(values))
+        # Robust spread estimate (half the central 68% range); the
+        # subscription generator expresses filter widths in these units
+        # so selectivity is comparable across attributes.
+        lo, hi = np.percentile(values, [16.0, 84.0])
+        spreads[placement.sensor_id] = max(float(hi - lo) / 2.0, 1e-6)
+        jitters = rng.uniform(-cfg.jitter, cfg.jitter, size=cfg.rounds)
+        for r in range(cfg.rounds):
+            timestamp = (r + 1) * cfg.round_period + float(jitters[r])
+            events.append(
+                SimpleEvent(
+                    placement.sensor_id,
+                    placement.attribute.name,
+                    placement.location,
+                    float(values[r]),
+                    timestamp,
+                    seq=r,
+                )
+            )
+    events.sort(key=lambda e: (e.timestamp, e.sensor_id))
+    return Replay(events, medians, spreads, cfg)

@@ -1,0 +1,92 @@
+"""Synthetic sensor streams standing in for the SensorScope dataset.
+
+The paper replays measurements collected on the Grand St. Bernard pass
+(September-October 2007) [6]: ambient temperature, surface temperature,
+relative humidity, wind speed and wind direction.  The dataset itself is
+not redistributable, so we synthesise per-sensor series with the three
+properties the evaluation actually depends on (see DESIGN.md):
+
+* plausible per-attribute value distributions with a well-defined
+  median for subscriptions to centre on;
+* diurnal structure plus autocorrelated noise, so values drift through
+  subscription ranges and matches cluster in time (as real weather
+  does) instead of being i.i.d.;
+* per-station offsets, so sensors of the same attribute at different
+  stations have different medians (subscriptions targeting different
+  groups differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..model.attributes import AttributeType
+
+
+@dataclass(frozen=True, slots=True)
+class StreamProfile:
+    """Shape parameters of one attribute's synthetic signal."""
+
+    mean: float
+    diurnal_amplitude: float
+    noise_sigma: float
+    station_sigma: float
+    ar_coefficient: float = 0.8
+
+
+# High-alpine autumn profiles for the five SensorScope attributes.
+STREAM_PROFILES: Mapping[str, StreamProfile] = {
+    "ambient_temperature": StreamProfile(1.5, 5.0, 1.2, 2.0),
+    "surface_temperature": StreamProfile(3.0, 8.0, 1.8, 2.5),
+    "relative_humidity": StreamProfile(72.0, 14.0, 5.0, 6.0),
+    "wind_speed": StreamProfile(5.5, 2.5, 1.8, 1.5),
+    "wind_direction": StreamProfile(225.0, 40.0, 20.0, 30.0),
+}
+
+DEFAULT_PROFILE = StreamProfile(50.0, 10.0, 4.0, 5.0)
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def profile_for(attribute: AttributeType) -> StreamProfile:
+    return STREAM_PROFILES.get(attribute.name, DEFAULT_PROFILE)
+
+
+def synthesize_stream(
+    attribute: AttributeType,
+    rounds: int,
+    round_period: float,
+    rng: np.random.Generator,
+    station_offset: float = 0.0,
+) -> np.ndarray:
+    """One sensor's value series over ``rounds`` sampling rounds.
+
+    Diurnal sinusoid + AR(1) noise around a station-shifted mean,
+    clipped to the attribute's physical domain.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    profile = profile_for(attribute)
+    t = np.arange(rounds) * round_period
+    diurnal = profile.diurnal_amplitude * np.sin(2 * np.pi * t / SECONDS_PER_DAY)
+    noise = np.empty(rounds)
+    noise[0] = rng.normal(0.0, profile.noise_sigma)
+    innovations = rng.normal(
+        0.0,
+        profile.noise_sigma * np.sqrt(1 - profile.ar_coefficient**2),
+        size=rounds,
+    )
+    for i in range(1, rounds):
+        noise[i] = profile.ar_coefficient * noise[i - 1] + innovations[i]
+    values = profile.mean + station_offset + diurnal + noise
+    return np.clip(values, attribute.domain.lo, attribute.domain.hi)
+
+
+def station_offset(
+    attribute: AttributeType, group: int, rng: np.random.Generator
+) -> float:
+    """Per-station shift of the attribute's mean (deterministic per rng)."""
+    return float(rng.normal(0.0, profile_for(attribute).station_sigma))

@@ -1,0 +1,128 @@
+"""End-to-end tests for abstract (region-scoped) subscriptions.
+
+These exercise the full pipeline the Swiss Experiment scenario needs:
+advertisement-based resolution, slot sensor sets spanning regions,
+delta_l spatial correlation and split routing toward multiple stations.
+"""
+
+import pytest
+
+from repro import quick_network
+from repro.model import AbstractSubscription, SimpleEvent, bounding_rect
+from repro.model.locations import RectRegion
+from repro.model.intervals import Interval
+
+
+def _sensor(deployment, group, attribute):
+    return next(
+        s
+        for s in deployment.sensors_of_group(group)
+        if s.attribute.name == attribute
+    )
+
+
+def _publish(net, placement, value, ts, seq=0):
+    event = SimpleEvent(
+        placement.sensor_id,
+        placement.attribute.name,
+        placement.location,
+        value,
+        ts,
+        seq,
+    )
+    net.sim.at(ts, lambda: net.publish(placement.node_id, event))
+    return event
+
+
+class TestAbstractEndToEnd:
+    def test_region_scoped_delivery(self):
+        net, dep = quick_network(n_nodes=30, n_groups=4, seed=3)
+        site = dep.sensors_of_group(1)
+        region = bounding_rect((s.location for s in site), margin=2.0)
+        sub = AbstractSubscription.from_ranges(
+            "watch",
+            {"wind_speed": (10.0, 40.0), "relative_humidity": (80.0, 100.0)},
+            region=region,
+            delta_t=5.0,
+        )
+        net.inject_subscription("r1", sub)
+        net.run_to_quiescence()
+        wind = _sensor(dep, 1, "wind_speed")
+        humid = _sensor(dep, 1, "relative_humidity")
+        t0 = net.sim.now + 50.0
+        _publish(net, wind, 15.0, t0)
+        _publish(net, humid, 90.0, t0 + 2.0)
+        net.run_to_quiescence()
+        delivered = net.delivery.delivered("watch")
+        assert {k[0] for k in delivered} == {wind.sensor_id, humid.sensor_id}
+
+    def test_out_of_region_sensor_never_contributes(self):
+        net, dep = quick_network(n_nodes=30, n_groups=4, seed=3)
+        site = dep.sensors_of_group(1)
+        region = bounding_rect((s.location for s in site), margin=2.0)
+        sub = AbstractSubscription.from_ranges(
+            "watch", {"wind_speed": (10.0, 40.0)}, region=region, delta_t=5.0
+        )
+        net.inject_subscription("r1", sub)
+        net.run_to_quiescence()
+        stranger = _sensor(dep, 3, "wind_speed")
+        assert not region.contains(stranger.location)
+        _publish(net, stranger, 15.0, net.sim.now + 10.0)
+        net.run_to_quiescence()
+        assert net.delivery.delivered("watch") == {}
+        assert net.meter.event_units == 0
+
+    def test_delta_l_rejects_distant_correlation(self):
+        net, dep = quick_network(n_nodes=40, n_groups=4, seed=3)
+        # Region spanning two stations; delta_l smaller than their
+        # distance: cross-station pairs must not correlate.
+        g0, g1 = dep.sensors_of_group(0), dep.sensors_of_group(1)
+        region = bounding_rect(
+            [s.location for s in g0 + g1], margin=2.0
+        )
+        sub = AbstractSubscription.from_ranges(
+            "tight",
+            {"wind_speed": (0.0, 40.0), "relative_humidity": (0.0, 100.0)},
+            region=region,
+            delta_t=5.0,
+            delta_l=5.0,
+        )
+        net.inject_subscription("r1", sub)
+        net.run_to_quiescence()
+        wind0 = _sensor(dep, 0, "wind_speed")
+        humid1 = _sensor(dep, 1, "relative_humidity")
+        assert wind0.location.distance_to(humid1.location) > 5.0
+        t0 = net.sim.now + 20.0
+        _publish(net, wind0, 10.0, t0)
+        _publish(net, humid1, 50.0, t0 + 1.0)
+        net.run_to_quiescence()
+        assert net.delivery.delivered("tight") == {}
+
+    def test_delta_l_accepts_colocated_correlation(self):
+        net, dep = quick_network(n_nodes=40, n_groups=4, seed=3)
+        g1 = dep.sensors_of_group(1)
+        region = bounding_rect([s.location for s in g1], margin=2.0)
+        sub = AbstractSubscription.from_ranges(
+            "tight",
+            {"wind_speed": (0.0, 40.0), "relative_humidity": (0.0, 100.0)},
+            region=region,
+            delta_t=5.0,
+            delta_l=10.0,
+        )
+        net.inject_subscription("r1", sub)
+        net.run_to_quiescence()
+        t0 = net.sim.now + 20.0
+        _publish(net, _sensor(dep, 1, "wind_speed"), 10.0, t0)
+        _publish(net, _sensor(dep, 1, "relative_humidity"), 50.0, t0 + 1.0)
+        net.run_to_quiescence()
+        assert len(net.delivery.delivered("tight")) == 2
+
+    def test_abstract_without_sources_dropped(self):
+        net, dep = quick_network(n_nodes=30, n_groups=4, seed=3)
+        empty_region = RectRegion(Interval(1e6, 1e6 + 1), Interval(0, 1))
+        sub = AbstractSubscription.from_ranges(
+            "ghost", {"wind_speed": (0, 10)}, region=empty_region, delta_t=5.0
+        )
+        net.inject_subscription("r1", sub)
+        net.run_to_quiescence()
+        assert net.dropped_subscriptions == ["ghost"]

@@ -1,0 +1,135 @@
+"""Tests for the experiment harness: runner, figures, tables, CLI."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.cli import main as cli_main
+from repro.experiments.runner import REPLAY_START, run_series
+from repro.experiments.tables import (
+    fig3_deployment,
+    render_table_2,
+    render_table_i,
+    run_fig3_walkthrough,
+    table_i_subscriptions,
+)
+from repro.protocols.registry import (
+    all_approaches,
+    distributed_approaches,
+    table_ii,
+)
+from repro.workload.scenarios import SMALL, Scenario
+from repro.network.topology import build_deployment
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    return Scenario(
+        key="tiny",
+        title="tiny",
+        deployment_factory=lambda seed: build_deployment(24, 3, seed=seed),
+        paper_subscription_counts=(60, 120),
+        attrs_min=3,
+        attrs_max=5,
+    )
+
+
+class TestRunner:
+    def test_series_shape(self, tiny_scenario):
+        series = run_series(tiny_scenario, distributed_approaches(), scale=0.1)
+        assert series.counts == [6, 12]
+        for key, runs in series.results.items():
+            assert [r.n_subscriptions for r in runs] == [6, 12]
+            assert all(r.approach == key for r in runs)
+
+    def test_loads_monotone_in_subscriptions(self, tiny_scenario):
+        series = run_series(tiny_scenario, distributed_approaches(), scale=0.1)
+        for key, runs in series.results.items():
+            assert runs[0].subscription_load <= runs[1].subscription_load, key
+
+    def test_recall_series_accessor(self, tiny_scenario):
+        series = run_series(tiny_scenario, distributed_approaches(), scale=0.1)
+        recalls = series.recall_series("fsf")
+        assert len(recalls) == 2 and all(0.0 <= r <= 1.0 for r in recalls)
+
+
+class TestTables:
+    def test_table_i_text(self):
+        text = render_table_i()
+        assert "50 < a < 80" in text and "5 < c < 15" in text
+
+    def test_table_i_subscriptions_structure(self):
+        subs = table_i_subscriptions()
+        assert [s.sub_id for s in subs] == ["s1", "s2", "s3"]
+        assert subs[2].sensor_ids == {"a", "b", "c"}
+
+    def test_table_ii_rows(self):
+        rows = table_ii()
+        assert len(rows) == 5
+        names = [r[0] for r in rows]
+        assert "Filter-Split-Forward" in names and "Centralized" in names
+        fsf = next(r for r in rows if r[0] == "Filter-Split-Forward")
+        assert fsf[1] == "Set filtering"
+        assert fsf[2] == "Simple"
+        assert fsf[3] == "Per neighbor"
+        assert "Set filtering" in render_table_2()
+
+    def test_fig3_deployment_is_paper_topology(self):
+        dep = fig3_deployment()
+        assert dep.n_nodes == 6
+        assert sorted(s.sensor_id for s in dep.sensors) == ["a", "b", "c"]
+        dep.validate()
+
+    def test_fig3_walkthrough_filters_s3(self):
+        w = run_fig3_walkthrough(exact_filtering=True)
+        assert any("s3" in op for op in w.covered["n6"])
+        assert w.subscription_units == 8
+
+
+class TestCli:
+    def test_table_targets(self, capsys):
+        assert cli_main(["table1"]) == 0
+        assert "Sensor a" in capsys.readouterr().out
+        assert cli_main(["table2"]) == 0
+        assert "Filter-Split-Forward" in capsys.readouterr().out
+
+    def test_fig3_target(self, capsys):
+        assert cli_main(["fig3"]) == 0
+        assert "n6" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "t.txt"
+        assert cli_main(["table2", "--output", str(out)]) == 0
+        assert "Set filtering" in out.read_text()
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig99"])
+
+
+class TestFigureHarness:
+    def test_all_nine_figures_registered(self):
+        assert sorted(figures.ALL_FIGURES, key=int) == [
+            "4", "5", "6", "7", "8", "9", "10", "11", "12",
+        ]
+
+    def test_figure_result_render(self):
+        result = figures.FigureResult(
+            "99", "demo", "x", (1, 2), {"fsf": (1.0, 2.0)}, notes="n"
+        )
+        text = result.render()
+        assert "Figure 99" in text and "Filter-Split-Forward" in text and "n" in text
+
+    def test_scenario_series_cached(self, tiny_scenario, monkeypatch):
+        figures.clear_cache()
+        calls = []
+        real = figures.run_series
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(figures, "run_series", spy)
+        figures.scenario_series(tiny_scenario, scale=0.1)
+        figures.scenario_series(tiny_scenario, scale=0.1)
+        assert len(calls) == 1
+        figures.clear_cache()

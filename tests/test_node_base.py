@@ -1,0 +1,121 @@
+"""Tests for the shared node machinery: flooding, storage, splitting."""
+
+import pytest
+
+from repro.core import filter_split_forward_approach
+from repro.model import IdentifiedSubscription
+from repro.network.node import LOCAL
+
+from conftest import fork_deployment, line_deployment, make_network, publish
+
+
+def sub(sub_id, ranges, delta_t=5.0):
+    return IdentifiedSubscription.from_ranges(
+        sub_id, {k: ("t", lo, hi) for k, (lo, hi) in ranges.items()}, delta_t
+    )
+
+
+class TestAdvertisementFlooding:
+    def test_every_node_knows_every_sensor(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        for node in net.nodes.values():
+            for sensor in ("a", "b", "c"):
+                assert node.ads.knows(sensor)
+
+    def test_next_hops_point_toward_sensor(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        assert net.nodes["u2"].ads.next_hop("a") == "u1"
+        assert net.nodes["hub"].ads.next_hop("a") == "s_a"
+        assert net.nodes["s_a"].ads.next_hop("a") == LOCAL
+        assert net.nodes["s_a"].ads.next_hop("c") == "s_b"
+
+    def test_flood_units_counted(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        # 3 advertisements x 5 links, each crossing each link once.
+        assert net.meter.advertisement_units == 15
+
+
+class TestSubscriptionPlumbing:
+    def test_absent_source_dropped(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        net.inject_subscription("u2", sub("s", {"zzz": (0, 1)}))
+        net.run_to_quiescence()
+        assert net.dropped_subscriptions == ["s"]
+        assert net.meter.subscription_units == 0
+
+    def test_local_subscription_stored_whole(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.run_to_quiescence()
+        node = net.nodes["u2"]
+        assert len(node.local_subscriptions) == 1
+        stored = node.stores[LOCAL].uncovered
+        assert [op.op_id for op in stored] == ["s[a,b]"]
+
+    def test_split_happens_at_divergence(self, fork):
+        net = make_network(fork, filter_split_forward_approach())
+        net.inject_subscription("u1", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.run_to_quiescence()
+        mid = net.nodes["mid"]
+        assert [op.op_id for op in mid.stores["u1"].uncovered] == ["s[a,b]"]
+        assert [op.op_id for op in net.nodes["s_a"].stores["mid"].uncovered] == ["s[a]"]
+        assert [op.op_id for op in net.nodes["s_b"].stores["mid"].uncovered] == ["s[b]"]
+
+    def test_chain_sheds_slots_progressively(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        net.inject_subscription(
+            "u2", sub("s", {"a": (0, 10), "b": (0, 10), "c": (0, 10)})
+        )
+        net.run_to_quiescence()
+        assert [op.op_id for op in net.nodes["hub"].stores["u1"].uncovered] == [
+            "s[a,b,c]"
+        ]
+        assert [op.op_id for op in net.nodes["s_a"].stores["hub"].uncovered] == [
+            "s[a,b,c]"
+        ]
+        assert [op.op_id for op in net.nodes["s_b"].stores["s_a"].uncovered] == [
+            "s[b,c]"
+        ]
+        assert [op.op_id for op in net.nodes["s_c"].stores["s_b"].uncovered] == [
+            "s[c]"
+        ]
+
+    def test_subscription_units_count_links(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.run_to_quiescence()
+        # u2->u1->hub->s_a : three links.
+        assert net.meter.subscription_units == 3
+
+
+class TestEventPlumbing:
+    def test_duplicate_event_ignored(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.run_to_quiescence()
+        publish(net, "a", 5.0, ts=100.0, seq=0)
+        net.run_to_quiescence()
+        units = net.meter.event_units
+        publish(net, "a", 5.0, ts=net.sim.now + 1.0, seq=0)  # same key
+        net.run_to_quiescence()
+        assert net.meter.event_units == units
+
+    def test_simple_operator_forwards_matching_only(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.run_to_quiescence()
+        publish(net, "a", 5.0, ts=100.0, seq=0)
+        publish(net, "a", 50.0, ts=200.0, seq=1)
+        net.run_to_quiescence()
+        # Only the matching reading travels the three links.
+        assert net.meter.event_units == 3
+        delivered = net.delivery.delivered("s")
+        assert {k for k in delivered} == {("a", 0)}
+
+    def test_unrequested_sensor_never_forwarded(self, line):
+        net = make_network(line, filter_split_forward_approach())
+        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.run_to_quiescence()
+        publish(net, "c", 5.0, ts=100.0)
+        net.run_to_quiescence()
+        assert net.meter.event_units == 0

@@ -1,0 +1,143 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(2.0, lambda: out.append("late"))
+        sim.schedule(1.0, lambda: out.append("early"))
+        sim.run()
+        assert out == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_fifo_among_simultaneous(self):
+        sim = Simulator()
+        out = []
+        for i in range(5):
+            sim.at(1.0, lambda i=i: out.append(i))
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_priority_beats_fifo(self):
+        sim = Simulator()
+        out = []
+        sim.at(1.0, lambda: out.append("normal"), priority=0)
+        sim.at(1.0, lambda: out.append("urgent"), priority=-1)
+        sim.run()
+        assert out == ["urgent", "normal"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: out.append(sim.now)))
+        sim.run()
+        assert out == [2.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        out = []
+        handle = sim.schedule(1.0, lambda: out.append("x"))
+        handle.cancel()
+        sim.run()
+        assert out == [] and handle.cancelled
+        assert sim.pending == 0
+
+    def test_run_until(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: out.append(1))
+        sim.schedule(10.0, lambda: out.append(10))
+        sim.run(until=5.0)
+        assert out == [1] and sim.now == 5.0
+        sim.run()
+        assert out == [1, 10]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=10)
+
+    def test_step(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: out.append(1))
+        assert sim.step() and out == [1]
+        assert not sim.step()
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: sim.run())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestProcesses:
+    def test_generator_process(self):
+        sim = Simulator()
+        out = []
+
+        def proc():
+            out.append(("start", sim.now))
+            yield 2.0
+            out.append(("mid", sim.now))
+            yield 3.0
+            out.append(("end", sim.now))
+
+        sim.process(proc())
+        sim.run()
+        assert out == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_negative_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_drain(self):
+        sim = Simulator()
+        out = []
+        sim.drain([lambda: out.append(1), lambda: out.append(2)])
+        assert out == [1, 2]
+
+
+class TestDeterminism:
+    def test_named_rng_streams_independent_and_reproducible(self):
+        a1 = Simulator(seed=7).rng("x").random(5).tolist()
+        a2 = Simulator(seed=7).rng("x").random(5).tolist()
+        b = Simulator(seed=7).rng("y").random(5).tolist()
+        assert a1 == a2
+        assert a1 != b
+
+    def test_same_rng_instance_per_name(self):
+        sim = Simulator(seed=1)
+        assert sim.rng("s") is sim.rng("s")
+
+    def test_processed_event_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4

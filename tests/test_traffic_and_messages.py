@@ -1,0 +1,88 @@
+"""Tests for traffic metering and message unit accounting."""
+
+import pytest
+
+from repro.model import Advertisement, Interval, Location, SimpleEvent
+from repro.model.operators import CorrelationOperator, Slot
+from repro.network.links import TrafficMeter
+from repro.network.messages import (
+    AdvertisementMessage,
+    EventMessage,
+    OperatorMessage,
+)
+
+
+def _event():
+    return SimpleEvent("d", "t", Location(0, 0), 1.0, 0.0, 0)
+
+
+def _operator():
+    return CorrelationOperator(
+        "s", "n", [Slot("d", "t", Interval(0, 1), frozenset({"d"}))], 1.0
+    )
+
+
+class TestMessageUnits:
+    def test_advertisement_units(self):
+        msg = AdvertisementMessage(Advertisement("d", "t", Location(0, 0)))
+        assert (msg.advertisement_units, msg.subscription_units, msg.event_units) == (
+            1,
+            0,
+            0,
+        )
+
+    def test_operator_units(self):
+        msg = OperatorMessage(_operator())
+        assert (msg.advertisement_units, msg.subscription_units, msg.event_units) == (
+            0,
+            1,
+            0,
+        )
+
+    def test_pubsub_event_is_one_unit(self):
+        assert EventMessage(_event()).event_units == 1
+
+    def test_per_stream_event_units(self):
+        assert EventMessage(_event(), streams=("a", "b", "c")).event_units == 3
+
+
+class TestTrafficMeter:
+    def test_record_accumulates_by_kind(self):
+        meter = TrafficMeter()
+        meter.record(("a", "b"), OperatorMessage(_operator()))
+        meter.record(("a", "b"), EventMessage(_event()))
+        meter.record(("b", "c"), EventMessage(_event(), streams=("x", "y")))
+        assert meter.subscription_units == 1
+        assert meter.event_units == 3
+        assert meter.messages == 3
+
+    def test_hops_multiply_units(self):
+        meter = TrafficMeter()
+        meter.record(("a", "b"), EventMessage(_event()), hops=4)
+        assert meter.event_units == 4
+        assert meter.messages == 1
+
+    def test_snapshot_minus(self):
+        meter = TrafficMeter()
+        meter.record(("a", "b"), OperatorMessage(_operator()))
+        before = meter.snapshot()
+        meter.record(("a", "b"), EventMessage(_event()))
+        delta = meter.snapshot().minus(before)
+        assert delta.subscription_units == 0
+        assert delta.event_units == 1
+        assert delta.messages == 1
+
+    def test_per_link_breakdown_and_busiest(self):
+        meter = TrafficMeter()
+        for _ in range(3):
+            meter.record(("a", "b"), EventMessage(_event()))
+        meter.record(("b", "c"), EventMessage(_event()))
+        assert meter.per_link_events[("a", "b")] == 3
+        assert meter.busiest_links(1) == [(("a", "b"), 3)]
+
+    def test_directions_counted_separately(self):
+        meter = TrafficMeter()
+        meter.record(("a", "b"), EventMessage(_event()))
+        meter.record(("b", "a"), EventMessage(_event()))
+        assert meter.per_link[("a", "b")] == 1
+        assert meter.per_link[("b", "a")] == 1

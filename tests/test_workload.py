@@ -1,0 +1,177 @@
+"""Tests for the synthetic SensorScope workload."""
+
+import numpy as np
+import pytest
+
+from repro.model.attributes import AMBIENT_TEMPERATURE, RELATIVE_HUMIDITY
+from repro.network.topology import small_scale
+from repro.workload import (
+    ALL_SCENARIOS,
+    ReplayConfig,
+    SMALL,
+    SubscriptionWorkloadConfig,
+    build_replay,
+    generate_subscriptions,
+    synthesize_stream,
+)
+from repro.workload.scenarios import default_scale
+from repro.workload.streams import profile_for, station_offset
+
+
+class TestStreams:
+    def test_values_within_domain(self):
+        rng = np.random.default_rng(0)
+        for attr in (AMBIENT_TEMPERATURE, RELATIVE_HUMIDITY):
+            values = synthesize_stream(attr, 500, 10.0, rng)
+            assert values.min() >= attr.domain.lo
+            assert values.max() <= attr.domain.hi
+
+    def test_deterministic_given_rng_seed(self):
+        a = synthesize_stream(AMBIENT_TEMPERATURE, 50, 10.0, np.random.default_rng(1))
+        b = synthesize_stream(AMBIENT_TEMPERATURE, 50, 10.0, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_autocorrelation_present(self):
+        values = synthesize_stream(
+            AMBIENT_TEMPERATURE, 2000, 10.0, np.random.default_rng(2)
+        )
+        x = values - values.mean()
+        r1 = float(np.dot(x[:-1], x[1:]) / np.dot(x, x))
+        assert r1 > 0.4, "AR(1) structure should persist"
+
+    def test_rounds_positive(self):
+        with pytest.raises(ValueError):
+            synthesize_stream(AMBIENT_TEMPERATURE, 0, 10.0, np.random.default_rng(0))
+
+    def test_profiles_cover_sensorscope(self):
+        assert profile_for(AMBIENT_TEMPERATURE).mean < 10.0
+        assert profile_for(RELATIVE_HUMIDITY).mean > 50.0
+
+
+class TestReplay:
+    def test_one_reading_per_sensor_per_round(self):
+        dep = small_scale(seed=1)
+        replay = build_replay(dep, ReplayConfig(rounds=7))
+        assert replay.n_events == 7 * len(dep.sensors)
+        per_sensor = {}
+        for e in replay.events:
+            per_sensor.setdefault(e.sensor_id, []).append(e)
+        for events in per_sensor.values():
+            assert len(events) == 7
+            assert sorted(e.seq for e in events) == list(range(7))
+
+    def test_jitter_bounded_and_rounds_disjoint(self):
+        cfg = ReplayConfig(rounds=5, round_period=10.0, jitter=2.0)
+        replay = build_replay(small_scale(seed=1), cfg)
+        for e in replay.events:
+            nominal = (e.seq + 1) * cfg.round_period
+            assert abs(e.timestamp - nominal) <= cfg.jitter
+
+    def test_medians_and_spreads_computed(self):
+        dep = small_scale(seed=1)
+        replay = build_replay(dep, ReplayConfig(rounds=10))
+        assert set(replay.medians) == {s.sensor_id for s in dep.sensors}
+        assert all(v > 0 for v in replay.spreads.values())
+
+    def test_shifted_preserves_everything_but_time(self):
+        replay = build_replay(small_scale(seed=1), ReplayConfig(rounds=3))
+        shifted = replay.shifted(1000.0)
+        assert len(shifted) == replay.n_events
+        for a, b in zip(replay.events, shifted):
+            assert b.timestamp == a.timestamp + 1000.0
+            assert (b.sensor_id, b.seq, b.value) == (a.sensor_id, a.seq, a.value)
+
+    def test_replay_deterministic(self):
+        dep = small_scale(seed=4)
+        a = build_replay(dep, ReplayConfig(rounds=4))
+        b = build_replay(dep, ReplayConfig(rounds=4))
+        assert [e.key for e in a.events] == [e.key for e in b.events]
+        assert [e.value for e in a.events] == [e.value for e in b.events]
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(rounds=5, round_period=10.0, jitter=6.0)
+
+
+class TestSubscriptionGenerator:
+    def _workload(self, n=40, **kw):
+        dep = small_scale(seed=2)
+        replay = build_replay(dep, ReplayConfig(rounds=10))
+        cfg = SubscriptionWorkloadConfig(n_subscriptions=n, attrs_min=3, attrs_max=5, **kw)
+        return dep, generate_subscriptions(dep, replay.medians, cfg, replay.spreads)
+
+    def test_even_group_targeting(self):
+        dep, workload = self._workload(n=40)
+        groups = {}
+        for placed in workload:
+            sensors = placed.subscription.sensor_ids
+            group = {s.group for s in dep.sensors if s.sensor_id in sensors}
+            assert len(group) == 1, "a subscription targets one group"
+            g = group.pop()
+            groups[g] = groups.get(g, 0) + 1
+        assert set(groups) == set(range(10))
+        assert all(count == 4 for count in groups.values())
+
+    def test_attribute_count_in_bounds(self):
+        _, workload = self._workload(n=30)
+        for placed in workload:
+            assert 3 <= len(placed.subscription.filters) <= 5
+
+    def test_users_on_relays(self):
+        dep, workload = self._workload(n=30)
+        assert {p.node_id for p in workload} <= set(dep.user_nodes)
+
+    def test_ranges_inside_domains(self):
+        dep, workload = self._workload(n=60)
+        domains = {s.sensor_id: s.attribute.domain for s in dep.sensors}
+        for placed in workload:
+            for f in placed.subscription.filters:
+                assert domains[f.sensor_id].contains_interval(f.interval)
+                assert not f.interval.is_empty
+
+    def test_deterministic(self):
+        _, w1 = self._workload(n=20)
+        _, w2 = self._workload(n=20)
+        assert [p.subscription.sub_id for p in w1] == [
+            p.subscription.sub_id for p in w2
+        ]
+        for a, b in zip(w1, w2):
+            assert a.node_id == b.node_id
+            assert a.subscription.filters == b.subscription.filters
+
+    def test_seed_changes_workload(self):
+        _, w1 = self._workload(n=20, seed=1)
+        _, w2 = self._workload(n=20, seed=2)
+        assert any(
+            a.subscription.filters != b.subscription.filters
+            for a, b in zip(w1, w2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubscriptionWorkloadConfig(n_subscriptions=-1)
+        with pytest.raises(ValueError):
+            SubscriptionWorkloadConfig(n_subscriptions=1, attrs_min=3, attrs_max=2)
+
+
+class TestScenarios:
+    def test_four_scenarios_registered(self):
+        assert set(ALL_SCENARIOS) == {
+            "small",
+            "medium",
+            "large_network",
+            "large_sources",
+        }
+
+    def test_counts_scale(self):
+        full = SMALL.subscription_counts(scale=1.0)
+        assert full == list(range(100, 1001, 100))
+        tenth = SMALL.subscription_counts(scale=0.1)
+        assert tenth == list(range(10, 101, 10))
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+        monkeypatch.setenv("REPRO_SCALE", "3.0")
+        with pytest.raises(ValueError):
+            default_scale()
