@@ -1,0 +1,18 @@
+"""Shared benchmark helpers, importable by name (not via ``conftest``).
+
+Living in a uniquely named module keeps imports unambiguous when the
+benchmark suite is collected together with ``tests/`` (both directories
+carry a ``conftest.py``; importing either *as* ``conftest`` is a
+collision waiting to happen).
+"""
+
+from __future__ import annotations
+
+
+def render_and_record(benchmark, figure) -> None:
+    """Attach the reproduced series to the benchmark record and print it."""
+    text = figure.render()
+    print("\n" + text)
+    benchmark.extra_info["figure"] = figure.figure_id
+    benchmark.extra_info["xs"] = list(figure.xs)
+    benchmark.extra_info["series"] = {k: list(v) for k, v in figure.series.items()}

@@ -6,6 +6,8 @@ prints the same series the paper plots and asserts the *shape* claims:
 who wins, in which direction, with sane margins.  Workload scale comes
 from ``REPRO_SCALE`` (default 0.1 — node counts are the paper's, the
 subscription axis is scaled).
+
+Shared helpers live in :mod:`benchlib`; this file only defines fixtures.
 """
 
 from __future__ import annotations
@@ -18,12 +20,3 @@ from repro.workload.scenarios import default_scale
 @pytest.fixture(scope="session")
 def scale() -> float:
     return default_scale()
-
-
-def render_and_record(benchmark, figure) -> None:
-    """Attach the reproduced series to the benchmark record and print it."""
-    text = figure.render()
-    print("\n" + text)
-    benchmark.extra_info["figure"] = figure.figure_id
-    benchmark.extra_info["xs"] = list(figure.xs)
-    benchmark.extra_info["series"] = {k: list(v) for k, v in figure.series.items()}

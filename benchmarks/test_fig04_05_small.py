@@ -8,7 +8,7 @@ beats the multi-join approach on event load by 10-30%.
 
 from repro.experiments import figures
 
-from conftest import render_and_record
+from benchlib import render_and_record
 
 
 def test_figure_4_subscription_load(benchmark, scale):

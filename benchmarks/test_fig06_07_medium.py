@@ -11,7 +11,7 @@ approach by 48-55.9% on events.
 
 from repro.experiments import figures
 
-from conftest import render_and_record
+from benchlib import render_and_record
 
 
 def test_figure_6_subscription_load(benchmark, scale):

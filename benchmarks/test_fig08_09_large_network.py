@@ -8,7 +8,7 @@ more links.
 
 from repro.experiments import figures
 
-from conftest import render_and_record
+from benchlib import render_and_record
 
 
 def test_figure_8_subscription_load(benchmark, scale):

@@ -10,7 +10,7 @@ multi-join).
 
 from repro.experiments import figures
 
-from conftest import render_and_record
+from benchlib import render_and_record
 
 
 def test_figure_10_subscription_load(benchmark, scale):

@@ -10,7 +10,7 @@ unit suite).
 
 from repro.experiments import figures
 
-from conftest import render_and_record
+from benchlib import render_and_record
 
 
 def test_figure_12_recall(benchmark, scale):

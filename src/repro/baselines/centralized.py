@@ -18,7 +18,6 @@ precisely the global knowledge the distributed approaches do without.
 from __future__ import annotations
 
 from ..model.events import EventKey, SimpleEvent
-from ..model.matching import matches_involving
 from ..model.operators import CorrelationOperator, root_operator
 from ..model.subscriptions import (
     AbstractSubscription,
@@ -117,8 +116,11 @@ class CentralizedNode(Node):
         store = self.stores.get(LOCAL)
         if store is None:
             return
-        for operator in store.ops_for_sensor(event.sensor_id, False):
-            participants = matches_involving(operator, self.store, event)
+        for operator, matcher in store.matched_for_sensor(event.sensor_id, False):
+            if matcher is not None:
+                participants = matcher.matches_involving(event)
+            else:
+                participants = self.matches_involving(operator, event)
             if not participants:
                 continue
             self.network.delivery.record_complex(operator.subscription_id)

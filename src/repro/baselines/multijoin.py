@@ -35,7 +35,6 @@ from __future__ import annotations
 
 from ..model.advertisements import AdvertisementTable
 from ..model.events import SimpleEvent
-from ..model.matching import matches_involving
 from ..model.operators import CorrelationOperator
 from ..network.network import Network
 from ..network.node import LOCAL, Node
@@ -159,7 +158,7 @@ class MultiJoinNode(Node):
                 for join in joins:
                     if not join.accepts_some(event):
                         continue
-                    participants = matches_involving(join, self.store, event)
+                    participants = self.matches_involving(join, event)
                     if not participants:
                         continue
                     assert join.main_slot is not None
@@ -174,7 +173,9 @@ class MultiJoinNode(Node):
         """User-side delivery: value-filter acceptance (false positives
         included, as the paper describes), plus exact complex matching
         for the complex-delivery counter."""
-        for subscription, root in self._local_by_sensor.get(event.sensor_id, ()):
+        for subscription, root, _matcher in self._local_by_sensor.get(
+            event.sensor_id, ()
+        ):
             if root.accepts_some(event):
                 self.network.delivery.record_events(subscription.sub_id, [event])
         self.deliver_local_matches(event)

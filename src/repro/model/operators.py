@@ -118,6 +118,19 @@ class CorrelationOperator:
         object.__setattr__(self, "delta_t", delta_t)
         object.__setattr__(self, "delta_l", delta_l)
         object.__setattr__(self, "main_slot", main_slot)
+        # Matchers are keyed by operator equality on the event hot path;
+        # the generated frozen-dataclass hash re-walks every slot (and
+        # its sensor frozenset) per lookup, so cache it once.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (subscription_id, subscriber, ordered, delta_t, delta_l, main_slot)
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # structure
@@ -233,23 +246,16 @@ class CorrelationOperator:
         Following [7] as distributed in Section III-B: each slot becomes
         the *main* stream of one binary join whose *filtering* stream is
         the next slot in a deterministic ring.  Operators with a single
-        slot are returned unchanged (nothing to pair); two-slot operators
-        become one exact binary join (binary joins equal multi-joins with
-        two attributes).
+        slot are returned unchanged (nothing to pair).  Two-slot
+        operators form a ring of two: each stream is the main of one
+        exact join (binary joins equal multi-joins with two attributes).
+        *Every* slot must be a main stream — an event only travels
+        toward the user on its own main stream, so a slot without one
+        would strand its events at the divergence node and silently
+        lose every match instance they anchor.
         """
         if len(self.slots) == 1:
             return [self]
-        if len(self.slots) == 2:
-            return [
-                CorrelationOperator(
-                    self.subscription_id,
-                    self.subscriber,
-                    self.slots,
-                    self.delta_t,
-                    self.delta_l,
-                    main_slot=self.slots[0].slot_id,
-                )
-            ]
         joins = []
         n = len(self.slots)
         for i, main in enumerate(self.slots):

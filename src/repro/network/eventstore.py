@@ -7,14 +7,39 @@ Events have a finite validity (Section IV-B): once older than the
 current time minus the validity they can no longer take part in any
 correlation (validity > delta_t by construction) and are pruned, which
 bounds node memory exactly as the paper argues.
+
+Two performance properties matter on the ingest hot path:
+
+* events arrive *near*-ordered, so timelines append and re-sort lazily
+  (one timsort pass over nearly sorted data is O(n)) instead of paying
+  ``bisect.insort``'s O(n) memmove per insert;
+* window queries return zero-copy :class:`TimelineView`\\ s over the
+  sorted backing lists.
+
+Expiry is governed by a store-wide monotone **horizon** (the largest
+``now − validity`` any insert or prune has observed): every query
+clamps below it, so an event is visible iff ``timestamp > horizon``
+regardless of which per-sensor timeline physical pruning last touched.
+Listeners (the incremental matching engine) mirror the store through
+``event_added`` / ``horizon_advanced`` callbacks and therefore agree
+with every query — the invariant the matcher-equivalence property
+tests lean on.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Protocol, Sequence
 
+from ..matching.timeline import Timeline, TimelineView
 from ..model.events import EventKey, SimpleEvent
+
+
+class StoreListener(Protocol):
+    """Mirroring protocol for consumers of store mutations."""
+
+    def event_added(self, event: SimpleEvent) -> None: ...
+
+    def horizon_advanced(self, horizon: float) -> None: ...
 
 
 class EventStore:
@@ -24,9 +49,21 @@ class EventStore:
         if validity <= 0:
             raise ValueError("validity must be positive")
         self.validity = validity
-        self._by_sensor: dict[str, list[tuple[float, int, SimpleEvent]]] = {}
+        self._by_sensor: dict[str, Timeline] = {}
         self._keys: set[EventKey] = set()
         self._latest = float("-inf")
+        self._horizon = float("-inf")
+        self._listeners: list[StoreListener] = []
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: StoreListener) -> None:
+        self._listeners.append(listener)
+
+    @property
+    def horizon(self) -> float:
+        """Expiry cutoff: only events with ``timestamp > horizon`` are
+        visible to queries."""
+        return self._horizon
 
     # ------------------------------------------------------------------
     def add(self, event: SimpleEvent, now: float) -> bool:
@@ -40,12 +77,24 @@ class EventStore:
             return False
         if now - event.timestamp > self.validity:
             return False
-        timeline = self._by_sensor.setdefault(event.sensor_id, [])
-        bisect.insort(timeline, (event.timestamp, event.seq, event))
+        self._advance_horizon(now - self.validity)
+        timeline = self._by_sensor.get(event.sensor_id)
+        if timeline is None:
+            timeline = self._by_sensor[event.sensor_id] = Timeline()
+        timeline.add(event)
         self._keys.add(event.key)
-        self._latest = max(self._latest, event.timestamp)
-        self._prune_sensor(event.sensor_id, now)
+        if event.timestamp > self._latest:
+            self._latest = event.timestamp
+        self._prune_sensor(event.sensor_id)
+        for listener in self._listeners:
+            listener.event_added(event)
         return True
+
+    def _advance_horizon(self, horizon: float) -> None:
+        if horizon > self._horizon:
+            self._horizon = horizon
+            for listener in self._listeners:
+                listener.horizon_advanced(horizon)
 
     def __contains__(self, key: EventKey) -> bool:
         return key in self._keys
@@ -63,14 +112,18 @@ class EventStore:
         timeline = self._by_sensor.get(sensor_id)
         if not timeline:
             return ()
-        lo = bisect.bisect_right(timeline, (after, float("inf")))
-        hi = bisect.bisect_right(timeline, (until, float("inf")))
-        return [entry[2] for entry in timeline[lo:hi]]
+        return timeline.view(max(after, self._horizon), until)
+
+    def sensor_events(self, sensor_id: str) -> Sequence[SimpleEvent]:
+        """Every visible event of ``sensor_id`` (matcher backfill)."""
+        timeline = self._by_sensor.get(sensor_id)
+        if not timeline:
+            return ()
+        return timeline.view(self._horizon, float("inf"))
 
     def all_events(self) -> Iterator[SimpleEvent]:
-        for timeline in self._by_sensor.values():
-            for _, _, event in timeline:
-                yield event
+        for sensor_id in self._by_sensor:
+            yield from self.sensor_events(sensor_id)
 
     @property
     def latest_timestamp(self) -> float:
@@ -84,21 +137,20 @@ class EventStore:
         Callers use the removed keys to clean their per-event
         forwarded-to flags.
         """
+        self._advance_horizon(now - self.validity)
         removed: list[EventKey] = []
         for sensor_id in list(self._by_sensor):
-            removed.extend(self._prune_sensor(sensor_id, now))
+            removed.extend(self._prune_sensor(sensor_id))
         return removed
 
-    def _prune_sensor(self, sensor_id: str, now: float) -> list[EventKey]:
+    def _prune_sensor(self, sensor_id: str) -> list[EventKey]:
         timeline = self._by_sensor.get(sensor_id)
         if not timeline:
             return []
-        horizon = now - self.validity
-        cut = bisect.bisect_right(timeline, (horizon, float("inf")))
-        if cut == 0:
+        dropped = timeline.drop_until(self._horizon)
+        if not dropped:
             return []
-        removed = [entry[2].key for entry in timeline[:cut]]
-        del timeline[:cut]
+        removed = [event.key for event in dropped]
         self._keys.difference_update(removed)
         if not timeline:
             del self._by_sensor[sensor_id]

@@ -37,11 +37,18 @@ class Network:
         latency: float = 0.05,
         validity: float | None = None,
         delta_t: float = 5.0,
+        matching: str = "incremental",
     ) -> None:
+        if matching not in ("incremental", "reference"):
+            raise ValueError(f"unknown matching mode {matching!r}")
         self.deployment = deployment
         self.sim = sim if sim is not None else Simulator(seed=deployment.seed)
         self.latency = latency
         self.delta_t = delta_t
+        # Node-level matcher implementation: the incremental engine
+        # (repro.matching) or the reference window scan — identical
+        # results, wildly different wall-clock (see BENCH_micro.json).
+        self.matching = matching
         # Event validity (Section IV-B): longer than delta_t plus the
         # worst-case transit so correlating events never expire early.
         transit = deployment.diameter() * latency
@@ -53,6 +60,16 @@ class Network:
         self._routing: RoutingTable | None = None
         self._center: str | None = None
         self.dropped_subscriptions: list[str] = []
+        # Adjacency snapshot: networkx views allocate per lookup, and
+        # send() validates neighbourhood once per message on the hot
+        # path.  The deployment graph is immutable for a run.
+        self._adjacency: dict[str, set[str]] = {
+            node: set(self.deployment.graph.neighbors(node))
+            for node in self.deployment.graph.nodes
+        }
+        self._sorted_neighbors: dict[str, list[str]] = {
+            node: sorted(adjacent) for node, adjacent in self._adjacency.items()
+        }
 
     # ------------------------------------------------------------------
     # construction
@@ -70,7 +87,7 @@ class Network:
             self.add_node(node_factory(node_id, self))
 
     def neighbors(self, node_id: str) -> list[str]:
-        return sorted(self.deployment.graph.neighbors(node_id))
+        return self._sorted_neighbors[node_id]
 
     # ------------------------------------------------------------------
     # routing (centralized baseline only)
@@ -92,7 +109,7 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, message: Message) -> None:
         """One-hop transfer to a neighbour; charged per link."""
-        if dst not in self.deployment.graph[src]:
+        if dst not in self._adjacency[src]:
             raise ValueError(f"{src!r} and {dst!r} are not neighbours")
         self.meter.record((src, dst), message)
         self.sim.schedule(

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
+from ..matching.engine import MatchingEngine
 from ..model.advertisements import Advertisement, AdvertisementTable
 from ..model.events import EventKey, SimpleEvent
-from ..model.matching import matches_involving
+from ..model.matching import matches_involving as reference_matches_involving
 from ..model.operators import CorrelationOperator, root_operator
 from ..model.subscriptions import (
     AbstractSubscription,
@@ -49,17 +50,31 @@ _PRUNE_EVERY = 64
 
 
 class SubscriptionStore:
-    """``S_m`` of Figure 2: operators received from one origin."""
+    """``S_m`` of Figure 2: operators received from one origin.
 
-    def __init__(self) -> None:
+    When the node runs the incremental matching engine, storing an
+    operator also registers its :class:`OperatorMatcher` — from then on
+    every ingested event is indexed as it arrives instead of being
+    rediscovered by scans.
+    """
+
+    def __init__(self, engine: MatchingEngine | None = None) -> None:
         self.uncovered: list[CorrelationOperator] = []
         self.covered: list[CorrelationOperator] = []
-        self._by_sensor: dict[str, list[tuple[CorrelationOperator, bool]]] = {}
+        self._by_sensor: dict[str, list[tuple[CorrelationOperator, bool, object]]] = {}
+        self._engine = engine
 
     def add(self, operator: CorrelationOperator, covered: bool) -> None:
         (self.covered if covered else self.uncovered).append(operator)
+        # Resolve the operator's matcher once at store time; the event
+        # hot path then queries it with zero lookup layers.
+        matcher = (
+            self._engine.matcher(operator) if self._engine is not None else None
+        )
         for sensor_id in operator.sensors:
-            self._by_sensor.setdefault(sensor_id, []).append((operator, covered))
+            self._by_sensor.setdefault(sensor_id, []).append(
+                (operator, covered, matcher)
+            )
 
     def ops_for_sensor(
         self, sensor_id: str, include_covered: bool
@@ -70,9 +85,17 @@ class SubscriptionStore:
         this index keeps per-event work proportional to the relevant
         operators instead of the whole store.
         """
-        for operator, is_covered in self._by_sensor.get(sensor_id, ()):
+        for operator, is_covered, _matcher in self._by_sensor.get(sensor_id, ()):
             if include_covered or not is_covered:
                 yield operator
+
+    def matched_for_sensor(
+        self, sensor_id: str, include_covered: bool
+    ) -> Iterator[tuple[CorrelationOperator, object]]:
+        """(operator, matcher) pairs for the incremental event path."""
+        for operator, is_covered, matcher in self._by_sensor.get(sensor_id, ()):
+            if include_covered or not is_covered:
+                yield operator, matcher
 
     def same_signature_uncovered(
         self, operator: CorrelationOperator
@@ -105,6 +128,15 @@ class Node:
         from .eventstore import EventStore  # local import avoids cycles
 
         self.store = EventStore(network.validity)
+        # The incremental matching engine mirrors the event store; the
+        # reference matcher remains selectable (Network(matching=
+        # "reference")) as the oracle for equivalence tests and as the
+        # recompute-on-arrival baseline for benchmarks.
+        self.matching: MatchingEngine | None = (
+            MatchingEngine(self.store)
+            if network.matching == "incremental"
+            else None
+        )
         self._sent: dict[EventKey, set[Hashable]] = {}
         self._adds_since_prune = 0
 
@@ -120,21 +152,38 @@ class Node:
         return self.network.sim.now
 
     def receive(self, message: Message, origin: str) -> None:
-        """Dispatch a delivered message to the protocol hooks."""
-        if isinstance(message, AdvertisementMessage):
-            self.handle_advertisement(message.advertisement, origin)
+        """Dispatch a delivered message to the protocol hooks.
+
+        Events are checked first: they outnumber the other kinds by
+        orders of magnitude once a run is flowing.
+        """
+        if isinstance(message, EventMessage):
+            self.handle_event(message.event, origin, message.streams)
         elif isinstance(message, OperatorMessage):
             self.handle_operator(message.operator, origin)
-        elif isinstance(message, EventMessage):
-            self.handle_event(message.event, origin, message.streams)
+        elif isinstance(message, AdvertisementMessage):
+            self.handle_advertisement(message.advertisement, origin)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown message {message!r}")
 
     def store_for(self, origin: str) -> SubscriptionStore:
         store = self.stores.get(origin)
         if store is None:
-            store = self.stores[origin] = SubscriptionStore()
+            store = self.stores[origin] = SubscriptionStore(self.matching)
         return store
+
+    def matches_involving(
+        self, operator: CorrelationOperator, event: SimpleEvent
+    ) -> dict[str, list[SimpleEvent]]:
+        """Participants of matches ``event`` takes part in, for ``operator``.
+
+        Dispatches to the incremental engine (default) or the reference
+        window-scanning matcher (``Network(matching="reference")``);
+        both are exact and return identical participants.
+        """
+        if self.matching is not None:
+            return self.matching.matches_involving(operator, event)
+        return reference_matches_involving(operator, self.store, event)
 
     # ------------------------------------------------------------------
     # sending helpers
@@ -182,9 +231,15 @@ class Node:
             self.network.dropped_subscriptions.append(subscription.sub_id)
             return
         self.local_subscriptions.append((subscription, root))
+        # The whole root operator drives the final local check even when
+        # handle_operator stores only fragments of it; resolve its
+        # matcher once here.
+        matcher = (
+            self.matching.matcher(root) if self.matching is not None else None
+        )
         for sensor_id in root.sensors:
             self._local_by_sensor.setdefault(sensor_id, []).append(
-                (subscription, root)
+                (subscription, root, matcher)
             )
         self.handle_operator(root, LOCAL)
 
@@ -247,8 +302,13 @@ class Node:
         subscriptions are checked and matching complex events delivered
         to the user.  Participants are logged for the recall metric.
         """
-        for subscription, root in self._local_by_sensor.get(event.sensor_id, ()):
-            participants = matches_involving(root, self.store, event)
+        for subscription, root, matcher in self._local_by_sensor.get(
+            event.sensor_id, ()
+        ):
+            if matcher is not None:
+                participants = matcher.matches_involving(event)
+            else:
+                participants = reference_matches_involving(root, self.store, event)
             if not participants:
                 continue
             delivered = [e for events in participants.values() for e in events]
@@ -290,6 +350,7 @@ class Node:
         participates in a complex match of an operator received from
         ``j``, at most once per link.
         """
+        sent = self._sent
         for neighbor in self.neighbors:
             if neighbor == sender:
                 continue
@@ -297,11 +358,21 @@ class Node:
             if store is None:
                 continue
             outgoing: dict[EventKey, SimpleEvent] = {}
-            for operator in store.ops_for_sensor(event.sensor_id, include_covered):
-                participants = matches_involving(operator, self.store, event)
+            for operator, matcher in store.matched_for_sensor(
+                event.sensor_id, include_covered
+            ):
+                if matcher is not None:
+                    participants = matcher.matches_involving(event)
+                else:
+                    participants = reference_matches_involving(
+                        operator, self.store, event
+                    )
                 for events in participants.values():
                     for member in events:
-                        if not self.was_sent(member.key, neighbor):
+                        # inline was_sent — this loop touches every
+                        # participant of every matching operator
+                        tags = sent.get(member.key)
+                        if tags is None or neighbor not in tags:
                             outgoing[member.key] = member
             for key, member in sorted(outgoing.items()):
                 self.mark_sent(key, neighbor)
@@ -332,8 +403,15 @@ class Node:
             if store is None:
                 continue
             outgoing: dict[EventKey, tuple[SimpleEvent, list[str]]] = {}
-            for operator in store.ops_for_sensor(event.sensor_id, include_covered):
-                participants = matches_involving(operator, self.store, event)
+            for operator, matcher in store.matched_for_sensor(
+                event.sensor_id, include_covered
+            ):
+                if matcher is not None:
+                    participants = matcher.matches_involving(event)
+                else:
+                    participants = reference_matches_involving(
+                        operator, self.store, event
+                    )
                 if not participants:
                     continue
                 tag = (operator.op_id, neighbor)

@@ -20,6 +20,7 @@ The kernel is deliberately minimal and dependency-free:
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
@@ -94,11 +95,18 @@ class Simulator:
         """A named random stream, derived deterministically from the seed.
 
         Distinct names give independent generators; repeated calls with
-        the same name return the same generator instance.
+        the same name return the same generator instance.  The stream
+        key is derived with a *stable* hash: Python's builtin ``hash``
+        of a str-containing tuple varies with ``PYTHONHASHSEED``, which
+        silently broke the "deterministic, seedable" contract across
+        processes.
         """
         if stream not in self._rngs:
             root = self._seed if self._seed is not None else 0
-            key = abs(hash((root, stream))) % (2**63)
+            digest = hashlib.blake2b(
+                f"{root}:{stream}".encode("utf-8"), digest_size=8
+            ).digest()
+            key = int.from_bytes(digest, "big") % (2**63)
             self._rngs[stream] = np.random.default_rng(key)
         return self._rngs[stream]
 

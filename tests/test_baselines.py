@@ -12,7 +12,7 @@ from repro.baselines.multijoin import JOIN, LEAF, SPLIT, TRANSIT
 from repro.model import IdentifiedSubscription
 from repro.network.node import LOCAL
 
-from conftest import fork_deployment, line_deployment, make_network, publish
+from deployments import fork_deployment, line_deployment, make_network, publish
 
 
 def sub(sub_id, ranges, delta_t=5.0):

@@ -7,7 +7,7 @@ from repro.experiments.tables import run_fig3_walkthrough, table_i_subscriptions
 from repro.model import IdentifiedSubscription
 from repro.network.node import LOCAL
 
-from conftest import line_deployment, make_network, publish
+from deployments import line_deployment, make_network, publish
 
 
 def sub(sub_id, ranges, delta_t=5.0):

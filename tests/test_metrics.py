@@ -13,7 +13,7 @@ from repro.metrics import (
 from repro.model import IdentifiedSubscription, Location, SimpleEvent
 from repro.network.delivery import DeliveryLog
 
-from conftest import line_deployment
+from deployments import line_deployment
 
 
 def ev(sensor, value, ts, seq=0):

@@ -94,12 +94,15 @@ class TestBinaryJoins:
         simple = op3().project(["a"])
         assert simple.binary_joins() == [simple]
 
-    def test_two_slots_single_exact_join(self):
+    def test_two_slots_ring_of_two(self):
+        # Each stream must be the main of one join — otherwise the
+        # non-main stream's events never travel toward the user and
+        # the instances they anchor are lost (recall < 1).
         two = op3().project(["a", "b"])
         joins = two.binary_joins()
-        assert len(joins) == 1
-        assert joins[0].is_binary_join
-        assert joins[0].main_slot == "a"
+        assert len(joins) == 2
+        assert all(j.is_binary_join for j in joins)
+        assert sorted(j.main_slot for j in joins) == ["a", "b"]
 
     def test_ring_pairing(self):
         joins = op3().binary_joins()

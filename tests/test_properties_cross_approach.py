@@ -27,7 +27,7 @@ from repro.metrics.oracle import compute_truth
 from repro.metrics.recall import measure_recall
 from repro.model import IdentifiedSubscription
 
-from conftest import line_deployment, make_network, publish
+from deployments import line_deployment, make_network, publish
 
 
 def sub_strategy():
