@@ -8,6 +8,28 @@ collision waiting to happen).
 
 from __future__ import annotations
 
+from repro.network.topology import build_deployment
+from repro.workload.scenarios import Scenario
+
+
+def tiny_bench_deployment(seed: int):
+    """Module-level factory so benchmark scenarios pickle into the
+    sharded runner's worker processes."""
+    return build_deployment(24, 3, seed=seed)
+
+
+def tiny_series_scenario() -> Scenario:
+    """A small but complete scenario for serial-vs-sharded series
+    benches: 2 measurement points x 4 distributed approaches."""
+    return Scenario(
+        key="tiny-bench",
+        title="tiny bench scenario",
+        deployment_factory=tiny_bench_deployment,
+        paper_subscription_counts=(60, 120),
+        attrs_min=3,
+        attrs_max=5,
+    )
+
 
 def render_and_record(benchmark, figure) -> None:
     """Attach the reproduced series to the benchmark record and print it."""

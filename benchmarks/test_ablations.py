@@ -32,19 +32,18 @@ def _small_arena(n_subs):
         SMALL.workload_config(n_subs),
         spreads=replay.spreads,
     )
+    events = replay.shifted(REPLAY_START)
     truths = compute_truth(
-        [p.subscription for p in workload],
-        deployment,
-        replay.shifted(REPLAY_START),
+        [p.subscription for p in workload], deployment, events
     )
-    return deployment, replay, workload, truths
+    return deployment, events, workload, truths
 
 
 def test_ablation_error_probability(benchmark):
     """Sweeping the probabilistic filter: exact filtering is the
     recall-optimal anchor; aggressive sampling trades recall for the
     same or less traffic, never more."""
-    deployment, replay, workload, truths = _small_arena(60)
+    deployment, events, workload, truths = _small_arena(60)
 
     def sweep():
         rows = {}
@@ -57,7 +56,7 @@ def test_ablation_error_probability(benchmark):
                 filter_split_forward_approach(config),
                 deployment,
                 workload,
-                replay,
+                events,
                 truths=truths,
             )
             rows[label] = result
@@ -94,13 +93,12 @@ def test_ablation_false_positives_vs_attribute_count(benchmark):
                 ),
                 spreads=replay.spreads,
             )
+            events = replay.shifted(REPLAY_START)
             truths = compute_truth(
-                [p.subscription for p in workload],
-                deployment,
-                replay.shifted(REPLAY_START),
+                [p.subscription for p in workload], deployment, events
             )
             result = run_point(
-                multijoin_approach(), deployment, workload, replay, truths=truths
+                multijoin_approach(), deployment, workload, events, truths=truths
             )
             rates[k] = result.false_positive_rate
         return rates

@@ -27,9 +27,8 @@ replay = build_replay(deployment, SMALL.replay)
 workload = generate_subscriptions(
     deployment, replay.medians, SMALL.workload_config(n_subs), spreads=replay.spreads
 )
-truths = compute_truth(
-    [p.subscription for p in workload], deployment, replay.shifted(REPLAY_START)
-)
+events = replay.shifted(REPLAY_START)
+truths = compute_truth([p.subscription for p in workload], deployment, events)
 total_true = sum(t.n_instances for t in truths.values())
 
 print(f"small-scale deployment: {deployment.n_nodes} nodes, "
@@ -40,7 +39,7 @@ header = f"{'approach':32s} {'sub load':>9s} {'event load':>11s} {'recall':>7s} 
 print(header)
 print("-" * len(header))
 for key, approach in all_approaches().items():
-    result = run_point(approach, deployment, workload, replay, truths=truths)
+    result = run_point(approach, deployment, workload, events, truths=truths)
     print(
         f"{approach.name:32s} {result.subscription_load:9d} "
         f"{result.event_load:11d} {result.recall:7.3f} "

@@ -24,9 +24,8 @@ replay = build_replay(deployment, SMALL.replay)
 workload = generate_subscriptions(
     deployment, replay.medians, SMALL.workload_config(N_SUBS), spreads=replay.spreads
 )
-truths = compute_truth(
-    [p.subscription for p in workload], deployment, replay.shifted(REPLAY_START)
-)
+events = replay.shifted(REPLAY_START)
+truths = compute_truth([p.subscription for p in workload], deployment, events)
 
 print(f"{N_SUBS} subscriptions on the small-scale deployment; "
       f"{sum(t.n_instances for t in truths.values())} true instances\n")
@@ -46,7 +45,7 @@ configs = [
 ]
 for label, config in configs:
     approach = filter_split_forward_approach(config)
-    result = run_point(approach, deployment, workload, replay, truths=truths)
+    result = run_point(approach, deployment, workload, events, truths=truths)
     print(f"{label:42s} {result.subscription_load:9d} "
           f"{result.event_load:11d} {result.recall:7.3f}")
 

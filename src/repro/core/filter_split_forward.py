@@ -168,4 +168,5 @@ def filter_split_forward_approach(config: FSFConfig | None = None) -> Approach:
             node_id, network, cfg
         ),
         deterministic_recall=False,
+        config=cfg,
     )

@@ -1,6 +1,12 @@
-"""Experiment harness: runner, per-figure/table reproduction, CLI."""
+"""Experiment harness: runner, sharded runner, figures/tables, CLI."""
 
 from .figures import ALL_FIGURES, FigureResult, clear_cache, scenario_series
+from .parallel import (
+    WORKERS_ENV_VAR,
+    PointTask,
+    default_workers,
+    run_series_parallel,
+)
 from .runner import REPLAY_START, RunResult, SeriesResult, run_point, run_series
 from .tables import (
     Fig3Walkthrough,
@@ -15,16 +21,20 @@ __all__ = [
     "ALL_FIGURES",
     "Fig3Walkthrough",
     "FigureResult",
+    "PointTask",
     "REPLAY_START",
     "RunResult",
     "SeriesResult",
+    "WORKERS_ENV_VAR",
     "clear_cache",
+    "default_workers",
     "fig3_deployment",
     "render_table_2",
     "render_table_i",
     "run_fig3_walkthrough",
     "run_point",
     "run_series",
+    "run_series_parallel",
     "scenario_series",
     "table_i_subscriptions",
 ]

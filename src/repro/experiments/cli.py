@@ -6,19 +6,23 @@ Examples::
     repro-experiments table2
     repro-experiments fig3
     repro-experiments fig7 --scale 0.2
-    repro-experiments all --scale 0.1
+    repro-experiments all --scale nightly --workers 4
+    repro-experiments fig12 --oracle reference
     repro-experiments experiments-md --output EXPERIMENTS.md
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
-from ..workload.scenarios import default_scale
+from ..metrics.oracle import ORACLE_ENV_VAR, ORACLE_METHODS
+from ..workload.scenarios import SCALE_PRESETS, default_scale, parse_scale
 from . import figures
 from .experiments_md import build_experiments_md
+from .parallel import WORKERS_ENV_VAR
 from .tables import render_table_2, render_table_i, run_fig3_walkthrough
 
 
@@ -46,10 +50,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        type=float,
+        type=parse_scale,
         default=None,
-        help="workload scale factor (default: REPRO_SCALE env or 0.1; "
-        "1.0 = the paper's subscription counts)",
+        metavar="SCALE",
+        help="workload scale: a float in (0, 1] or a preset "
+        f"({', '.join(sorted(SCALE_PRESETS))}); default: REPRO_SCALE env "
+        "or 0.1; 1.0 = the paper's subscription counts",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard scenario runs over N worker processes (default: "
+        "REPRO_WORKERS env or 1; results are bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--oracle",
+        choices=ORACLE_METHODS,
+        default=None,
+        help="ground-truth pass: the engine-backed oracle (fast) or the "
+        "reference scan (default: REPRO_ORACLE env or engine)",
     )
     parser.add_argument(
         "--output",
@@ -58,6 +79,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # The knobs are environment-driven all the way down (so the figure
+    # harness and worker processes see them too); the flags set them for
+    # the duration of this invocation and restore on exit, so embedding
+    # callers (tests, notebooks) see no lingering state.
+    saved = {
+        var: os.environ.get(var) for var in (WORKERS_ENV_VAR, ORACLE_ENV_VAR)
+    }
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        os.environ[WORKERS_ENV_VAR] = str(args.workers)
+    if args.oracle is not None:
+        os.environ[ORACLE_ENV_VAR] = args.oracle
+    try:
+        return _run(args)
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+
+
+def _run(args: argparse.Namespace) -> int:
     out: list[str] = []
     if args.target == "table1":
         out.append(render_table_i())

@@ -23,6 +23,7 @@ from ..workload.scenarios import (
     Scenario,
     default_scale,
 )
+from .parallel import clear_worker_caches, default_workers, run_series_parallel
 from .runner import SeriesResult, run_series
 
 APPROACH_LABELS = {
@@ -40,9 +41,17 @@ def scenario_series(
     scenario: Scenario,
     scale: float | None = None,
     fsf_config: FSFConfig | None = None,
+    workers: int | None = None,
 ) -> SeriesResult:
-    """Run (or fetch the cached run of) one scenario's full series."""
+    """Run (or fetch the cached run of) one scenario's full series.
+
+    ``workers`` defaults to the ``REPRO_WORKERS`` environment knob (the
+    CLI's ``--workers`` sets it); above 1 the series is computed by the
+    sharded runner, whose result is bit-identical to the serial path —
+    so the cache key deliberately ignores the worker count.
+    """
     eff_scale = default_scale() if scale is None else scale
+    eff_workers = default_workers() if workers is None else workers
     key = (scenario.key, eff_scale, scenario.seed, fsf_config)
     if key not in _SERIES_CACHE:
         approaches = (
@@ -50,12 +59,24 @@ def scenario_series(
             if scenario.include_centralized
             else distributed_approaches(fsf_config)
         )
-        _SERIES_CACHE[key] = run_series(scenario, approaches, scale=eff_scale)
+        if eff_workers > 1:
+            _SERIES_CACHE[key] = run_series_parallel(
+                scenario,
+                approaches,
+                workers=eff_workers,
+                scale=eff_scale,
+                fsf_config=fsf_config,
+            )
+        else:
+            _SERIES_CACHE[key] = run_series(
+                scenario, approaches, scale=eff_scale
+            )
     return _SERIES_CACHE[key]
 
 
 def clear_cache() -> None:
     _SERIES_CACHE.clear()
+    clear_worker_caches()
 
 
 @dataclass(frozen=True)

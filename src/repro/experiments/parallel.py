@@ -1,0 +1,272 @@
+"""Sharded multi-process experiment runner.
+
+:func:`repro.experiments.runner.run_series` walks the (approach,
+subscription-count) measurement matrix of one scenario serially; every
+point is an *independent* simulation (the paper's protocol runs a fresh
+network per point precisely so approaches are comparable), which makes
+the matrix embarrassingly parallel.  This module fans the same point
+matrix out over a ``ProcessPoolExecutor`` and merges the per-point
+``RunResult``\\ s back into a :class:`SeriesResult` that is
+**bit-identical** to the serial run's.
+
+What makes that equality possible — and what it machine-checks:
+
+* every random stream is ``PYTHONHASHSEED``-independent
+  (:mod:`repro.seeding`): a worker process re-synthesizing the replay
+  and workload draws exactly the events and subscriptions the parent
+  (or any sibling) would — the determinism bug this module's tests
+  guard against is builtin-``hash`` seeding sneaking back in;
+* work is partitioned deterministically: the task list is ordered
+  counts-major / approach-registry order and chunked by
+  ``ProcessPoolExecutor.map``, so results come back in the exact order
+  the serial loop would produce them regardless of which worker ran
+  which chunk;
+* each worker rebuilds scenario-level state (deployment, replay,
+  workload, oracle truth) from the task's declared seeds and memoises
+  it per process, so a worker running several points of one scenario
+  pays the setup once — the same sharing ``run_series`` gets for free.
+
+Approaches travel as registry *keys*, not instances: node factories may
+be closures (FSF's is), which do not pickle; workers re-resolve them
+via :func:`repro.protocols.registry.all_approaches` with the same
+``FSFConfig``.  Scenarios must carry a module-level
+``deployment_factory`` (all built-in scenarios do) to be picklable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.filter_split_forward import FSFConfig
+from ..metrics.oracle import compute_truth
+from ..protocols.base import Approach
+from ..protocols.registry import all_approaches
+from ..workload.scenarios import Scenario, default_scale
+from ..workload.sensorscope import build_replay
+from ..workload.subscriptions import generate_subscriptions
+from .runner import REPLAY_START, RunResult, SeriesResult, run_point
+
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker-process count, overridable via the environment (default 1)."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None:
+        return 1
+    workers = int(raw)
+    if workers < 1:
+        raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {raw}")
+    return workers
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One (approach, subscription-count) cell of a scenario's matrix.
+
+    Carries everything a worker needs and nothing process-bound: the
+    scenario (seeds + picklable factory), the *resolved* scale and
+    network ``delta_t``, and the approach's registry key.  Frozen and
+    hashable so task lists are safe to memoise against.
+    """
+
+    scenario: Scenario
+    scale: float
+    approach_key: str
+    n: int
+    delta_t: float
+    latency: float
+    oracle: str | None
+    fsf_config: FSFConfig | None
+
+
+# ---------------------------------------------------------------------------
+# worker side — per-process memos rebuild shared state once, not per point
+# ---------------------------------------------------------------------------
+_SCENARIO_STATE: dict = {}
+_TRUTH_MEMO: dict = {}
+
+
+def clear_worker_caches() -> None:
+    """Drop the per-process scenario/truth memos.
+
+    Workers die with their pool, but the in-process fallback path
+    (``workers=1``) populates these in the parent, where a long-lived
+    session sweeping many scenarios would otherwise accumulate workload
+    and truth state forever.  ``figures.clear_cache()`` calls this too.
+    """
+    _SCENARIO_STATE.clear()
+    _TRUTH_MEMO.clear()
+
+
+def _scenario_state(scenario: Scenario, scale: float):
+    """(deployment, workload, shifted events) for one scenario + scale."""
+    key = (scenario, scale)
+    state = _SCENARIO_STATE.get(key)
+    if state is None:
+        deployment = scenario.deployment()
+        replay = build_replay(deployment, scenario.replay)
+        counts = scenario.subscription_counts(scale)
+        workload = generate_subscriptions(
+            deployment,
+            replay.medians,
+            scenario.workload_config(max(counts)),
+            spreads=replay.spreads,
+        )
+        state = (deployment, workload, replay.shifted(REPLAY_START))
+        _SCENARIO_STATE[key] = state
+    return state
+
+
+def run_task(task: PointTask) -> RunResult:
+    """Execute one matrix point — the worker entry (module-level, so it
+    pickles by reference)."""
+    deployment, workload, shifted = _scenario_state(task.scenario, task.scale)
+    placed = workload[: task.n]
+    truth_key = (task.scenario, task.scale, task.n, task.oracle)
+    truths = _TRUTH_MEMO.get(truth_key)
+    if truths is None:
+        truths = compute_truth(
+            [p.subscription for p in placed],
+            deployment,
+            shifted,
+            method=task.oracle,
+        )
+        _TRUTH_MEMO[truth_key] = truths
+    approach = all_approaches(task.fsf_config)[task.approach_key]
+    return run_point(
+        approach,
+        deployment,
+        placed,
+        shifted,
+        truths=truths,
+        delta_t=task.delta_t,
+        latency=task.latency,
+    )
+
+
+# ---------------------------------------------------------------------------
+# parent side — partition, fan out, merge
+# ---------------------------------------------------------------------------
+def _resolve_keys(
+    approaches: Mapping[str, Approach] | Sequence[str],
+    fsf_config: FSFConfig | None,
+) -> tuple[list[str], FSFConfig | None]:
+    """(registry keys in caller order, effective FSFConfig), validated.
+
+    Workers rebuild approaches from the registry, so any configuration a
+    passed-in ``Approach`` closed over must be re-declared.  Approaches
+    carry it (``Approach.config``): harvest it from a mapping when the
+    caller did not pass ``fsf_config``, and refuse a contradiction —
+    silently running workers with a different config than the caller's
+    instances would break the bit-identical-to-serial contract.
+    """
+    keys = list(approaches)  # a Mapping iterates its keys
+    if isinstance(approaches, Mapping):
+        for key, approach in approaches.items():
+            declared = getattr(approach, "config", None)
+            if declared is None:
+                continue
+            if fsf_config is None:
+                fsf_config = declared
+            elif declared != fsf_config:
+                raise ValueError(
+                    f"approach {key!r} was built with {declared!r} but "
+                    f"fsf_config={fsf_config!r} was passed; drop one so "
+                    "worker processes rebuild the same configuration"
+                )
+    registry = all_approaches(fsf_config)
+    unknown = [key for key in keys if key not in registry]
+    if unknown:
+        raise ValueError(
+            f"approaches {unknown} are not in the registry; the parallel "
+            "runner re-resolves approaches by key in worker processes"
+        )
+    return keys, fsf_config
+
+
+def point_tasks(
+    scenario: Scenario,
+    keys: Sequence[str],
+    scale: float,
+    delta_t: float,
+    latency: float,
+    oracle: str | None,
+    fsf_config: FSFConfig | None,
+) -> list[PointTask]:
+    """The deterministic work partition: counts-major, caller key order —
+    exactly the order the serial loop visits points, so a positional
+    merge reconstructs the serial result."""
+    return [
+        PointTask(scenario, scale, key, n, delta_t, latency, oracle, fsf_config)
+        for n in scenario.subscription_counts(scale)
+        for key in keys
+    ]
+
+
+def merge_points(
+    scenario: Scenario,
+    counts: Sequence[int],
+    keys: Sequence[str],
+    results: Sequence[RunResult],
+) -> SeriesResult:
+    """Reassemble per-point results (in task order) into a SeriesResult."""
+    series = SeriesResult(scenario, list(counts))
+    for key in keys:
+        series.results[key] = []
+    it = iter(results)
+    for _ in counts:
+        for key in keys:
+            series.results[key].append(next(it))
+    return series
+
+
+def run_series_parallel(
+    scenario: Scenario,
+    approaches: Mapping[str, Approach] | Sequence[str],
+    workers: int | None = None,
+    scale: float | None = None,
+    delta_t: float | None = None,
+    latency: float = 0.05,
+    oracle: str | None = None,
+    fsf_config: FSFConfig | None = None,
+) -> SeriesResult:
+    """``run_series`` sharded over ``workers`` processes.
+
+    Returns a :class:`SeriesResult` equal, ``RunResult`` dataclass for
+    dataclass, to ``run_series(scenario, approaches, scale, delta_t,
+    latency)`` — under any ``PYTHONHASHSEED`` and any worker count.
+    ``workers=None`` defers to the ``REPRO_WORKERS`` environment
+    default; ``workers=1`` runs the same task pipeline in-process (no
+    pool), which is also the fallback for non-picklable custom
+    scenarios.
+    """
+    eff_workers = default_workers() if workers is None else workers
+    eff_scale = default_scale() if scale is None else scale
+    dt = scenario.delta_t if delta_t is None else delta_t
+    keys, fsf_config = _resolve_keys(approaches, fsf_config)
+    counts = scenario.subscription_counts(eff_scale)
+    tasks = point_tasks(
+        scenario, keys, eff_scale, dt, latency, oracle, fsf_config
+    )
+    if eff_workers <= 1 or len(tasks) == 1:
+        results = [run_task(task) for task in tasks]
+        return merge_points(scenario, counts, keys, results)
+    try:
+        pickle.dumps(tasks[0])
+    except Exception as exc:
+        raise ValueError(
+            "scenario is not picklable (deployment_factory must be a "
+            "module-level callable, not a lambda) — run serially or fix "
+            f"the factory: {exc}"
+        ) from exc
+    # chunksize=1 keeps the partition point-grained (best balance on
+    # long points); per-process memos still share scenario state within
+    # a worker.  Input order == serial order, map() preserves it.
+    with ProcessPoolExecutor(max_workers=min(eff_workers, len(tasks))) as pool:
+        results = list(pool.map(run_task, tasks, chunksize=1))
+    return merge_points(scenario, counts, keys, results)

@@ -27,12 +27,13 @@ from typing import Mapping, Sequence
 
 from ..metrics.oracle import SubscriptionTruth, compute_truth
 from ..metrics.recall import RecallReport, measure_recall
+from ..model.events import SimpleEvent
 from ..network.network import Network
 from ..network.topology import Deployment
 from ..protocols.base import Approach
 from ..sim import Simulator
 from ..workload.scenarios import Scenario, default_scale
-from ..workload.sensorscope import Replay, build_replay
+from ..workload.sensorscope import build_replay
 from ..workload.subscriptions import PlacedSubscription, generate_subscriptions
 
 REPLAY_START = 10_000.0
@@ -64,12 +65,20 @@ def run_point(
     approach: Approach,
     deployment: Deployment,
     placed: Sequence[PlacedSubscription],
-    replay: Replay,
+    events: Sequence[SimpleEvent],
     truths: Mapping[str, SubscriptionTruth] | None = None,
     delta_t: float = 5.0,
     latency: float = 0.05,
+    oracle: str | None = None,
 ) -> RunResult:
-    """Run one approach on one subscription prefix; see module docstring."""
+    """Run one approach on one subscription prefix; see module docstring.
+
+    ``events`` is the replay already shifted to ``REPLAY_START``
+    (``replay.shifted(REPLAY_START)``): the caller computes the oracle's
+    ground truth from the same list, so the scheduled events and the
+    truth inputs are literally the same objects — one materialisation
+    per series, not one per (approach, count) point.
+    """
     sim = Simulator(seed=deployment.seed)
     network = Network(deployment, sim, latency=latency, delta_t=delta_t)
     approach.populate(network)
@@ -91,7 +100,6 @@ def run_point(
             f"subscription phase ran past t={REPLAY_START}; raise REPLAY_START"
         )
     node_of_sensor = {s.sensor_id: s.node_id for s in deployment.sensors}
-    events = replay.shifted(REPLAY_START)
     for event in events:
         sim.at(
             event.timestamp,
@@ -103,7 +111,7 @@ def run_point(
     # Phase 4: recall against the oracle.
     if truths is None:
         truths = compute_truth(
-            [p.subscription for p in placed], deployment, events
+            [p.subscription for p in placed], deployment, events, method=oracle
         )
     report = measure_recall(truths, network.delivery)
 
@@ -158,11 +166,14 @@ def run_series(
     scale: float | None = None,
     delta_t: float | None = None,
     latency: float = 0.05,
+    oracle: str | None = None,
 ) -> SeriesResult:
     """All measurement points of one scenario for the given approaches.
 
     The oracle ground truth per point is computed once and shared by all
-    approaches (it only depends on subscriptions + events).
+    approaches (it only depends on subscriptions + events).  ``oracle``
+    selects the truth pass (engine / reference); ``None`` defers to the
+    ``REPRO_ORACLE`` environment default.
     """
     dt = scenario.delta_t if delta_t is None else delta_t
     deployment = scenario.deployment()
@@ -181,7 +192,7 @@ def run_series(
     for n in counts:
         placed = workload[:n]
         truths = compute_truth(
-            [p.subscription for p in placed], deployment, shifted
+            [p.subscription for p in placed], deployment, shifted, method=oracle
         )
         for key, approach in approaches.items():
             series.results[key].append(
@@ -189,7 +200,7 @@ def run_series(
                     approach,
                     deployment,
                     placed,
-                    replay,
+                    shifted,
                     truths=truths,
                     delta_t=dt,
                     latency=latency,

@@ -192,6 +192,38 @@ class OperatorMatcher:
             lists.append(near)
         return combination_exists(lists, delta_l)
 
+    def match_at_trigger(
+        self, trigger_time: float
+    ) -> dict[str, list[SimpleEvent]] | None:
+        """Participants of matches whose maximum timestamp is ``trigger_time``.
+
+        Same decision and per-slot participant *sets* as the reference
+        :func:`repro.model.matching.match_at_trigger`, answered from the
+        per-slot timelines: ``None`` when some slot's window
+        ``(trigger_time − Δt, trigger_time]`` is empty or, for finite
+        ``delta_l``, no spatially valid combination exists.  Participants
+        come back in timeline ``(timestamp, key)`` order rather than the
+        reference's sensor-grouped order — the offline oracle, the only
+        consumer, unions keys and never reads the order.
+        """
+        self._prune()
+        after = trigger_time - self.operator.delta_t
+        windows = [
+            timeline.view(after, trigger_time) for timeline in self._timelines
+        ]
+        if not all(windows):
+            return None
+        kept = [list(w) for w in windows]
+        if self._finite:
+            kept = participating(kept, self.operator.delta_l)
+            if kept is None:
+                return None
+        out: dict[str, list[SimpleEvent]] = {}
+        for slot_id, participants in zip(self._slot_ids, kept):
+            _sort_if_tied(participants)
+            out[slot_id] = participants
+        return out
+
     def _own_slot_index(self, event: SimpleEvent) -> int | None:
         """Index of the first slot accepting ``event`` (reference order)."""
         for attribute, contains, _timeline, index in self._by_sensor.get(

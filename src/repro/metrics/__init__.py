@@ -1,9 +1,13 @@
 """Metrics: traffic loads, the offline oracle, recall and reports."""
 
 from .oracle import (
+    ORACLE_ENV_VAR,
+    ORACLE_METHODS,
     EventIndex,
     SubscriptionTruth,
     compute_truth,
+    default_oracle,
+    operator_truth,
     oracle_operator,
 )
 from .recall import RecallReport, measure_recall, per_subscription_recall
@@ -11,11 +15,15 @@ from .report import improvement_over, render_series_table, summarize_improvement
 
 __all__ = [
     "EventIndex",
+    "ORACLE_ENV_VAR",
+    "ORACLE_METHODS",
     "RecallReport",
     "SubscriptionTruth",
     "compute_truth",
+    "default_oracle",
     "improvement_over",
     "measure_recall",
+    "operator_truth",
     "oracle_operator",
     "per_subscription_recall",
     "render_series_table",

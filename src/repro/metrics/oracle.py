@@ -6,14 +6,31 @@ trigger)`` where the trigger is the maximum-timestamp member of some
 valid complex event.  The per-instance participants are collected too,
 so the multi-join baseline's false positives (delivered events that are
 part of no true match) can be quantified.
+
+Two interchangeable truth passes exist:
+
+* ``method="engine"`` (the default) reuses the incremental matching
+  engine's per-operator slot timelines and grid-pruned spatial search
+  (:mod:`repro.matching`) in an offline harness — filter acceptance is
+  evaluated once per (event, slot) instead of once per candidate
+  trigger, which is what makes full-scale figure runs affordable;
+* ``method="reference"`` is the original per-trigger window rescan over
+  :class:`EventIndex`, kept in-tree as the semantics oracle for the
+  oracle itself — ``tests/test_oracle_engine.py`` machine-checks that
+  both passes produce identical triggers and participants.
+
+The default is overridable per process via the ``REPRO_ORACLE``
+environment variable (the experiment CLI's ``--oracle`` flag sets it).
 """
 
 from __future__ import annotations
 
 import bisect
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..matching.engine import OperatorMatcher
 from ..model.events import EventKey, SimpleEvent
 from ..model.matching import instance_exists, match_at_trigger
 from ..model.operators import CorrelationOperator, root_operator
@@ -23,6 +40,20 @@ from ..model.subscriptions import (
     Subscription,
 )
 from ..network.topology import Deployment
+
+ORACLE_ENV_VAR = "REPRO_ORACLE"
+
+ORACLE_METHODS = ("engine", "reference")
+
+
+def default_oracle() -> str:
+    """The truth pass to use, overridable via the environment."""
+    raw = os.environ.get(ORACLE_ENV_VAR, "engine")
+    if raw not in ORACLE_METHODS:
+        raise ValueError(
+            f"{ORACLE_ENV_VAR} must be one of {ORACLE_METHODS}, got {raw!r}"
+        )
+    return raw
 
 
 class EventIndex:
@@ -88,24 +119,44 @@ def oracle_operator(
     return root_operator(subscription, "oracle", sensors)
 
 
-def compute_truth(
-    subscriptions: Iterable[Subscription],
-    deployment: Deployment,
-    events: Sequence[SimpleEvent],
-    collect_participants: bool = True,
-) -> dict[str, SubscriptionTruth]:
-    """Enumerate every true match instance of every subscription.
+class _OfflineEngine:
+    """Minimal :class:`~repro.matching.engine.MatchingEngine` stand-in.
 
-    Only events produced by a subscription's own sensors can trigger it,
-    so the scan is proportional to (subscriptions x their group's
-    events), not (subscriptions x all events).
+    The offline oracle has no event store and no expiry: every replayed
+    event is visible forever, so the horizon an
+    :class:`OperatorMatcher` clamps against sits at ``-inf`` and its
+    prune sweeps hit the O(1) nothing-expired fast path.
     """
-    index = EventIndex(events)
-    truths: dict[str, SubscriptionTruth] = {}
-    for subscription in subscriptions:
-        operator = oracle_operator(subscription, deployment)
-        truth = SubscriptionTruth(subscription.sub_id, operator)
-        for event in index.events_of(sorted(operator.sensors)):
+
+    __slots__ = ()
+
+    horizon = float("-inf")
+
+
+_OFFLINE_ENGINE = _OfflineEngine()
+
+
+def operator_truth(
+    operator: CorrelationOperator,
+    sub_id: str,
+    index: EventIndex,
+    collect_participants: bool = True,
+    method: str | None = None,
+) -> SubscriptionTruth:
+    """Ground truth of one resolved operator over an indexed event set.
+
+    ``method="reference"`` rescans windows via the reference matcher;
+    ``method="engine"`` ingests the operator's events into an offline
+    :class:`OperatorMatcher` once and answers every trigger probe from
+    its per-slot timelines.  Both enumerate the identical candidate
+    triggers (events of the operator's own sensors that fill a slot) and
+    produce identical ``triggers`` / ``participants`` sets.
+    """
+    method = default_oracle() if method is None else method
+    truth = SubscriptionTruth(sub_id, operator)
+    candidates = index.events_of(sorted(operator.sensors))
+    if method == "reference":
+        for event in candidates:
             if operator.slot_for_event(event) is None:
                 continue
             if not instance_exists(operator, index, event):
@@ -116,5 +167,57 @@ def compute_truth(
                 if found:
                     for members in found.values():
                         truth.participants.update(m.key for m in members)
-        truths[subscription.sub_id] = truth
+        return truth
+    if method != "engine":
+        raise ValueError(f"unknown oracle method {method!r}")
+    matcher = OperatorMatcher(operator, _OFFLINE_ENGINE)
+    for event in candidates:
+        matcher.ingest(event)
+    # Equal-timestamp triggers share one window; memoise per timestamp
+    # (the reference recomputes — same result, it is the slow path).
+    participants_at: dict[float, dict | None] = {}
+    for event in candidates:
+        if operator.slot_for_event(event) is None:
+            continue
+        if not matcher.instance_exists(event):
+            continue
+        truth.triggers.add(event.key)
+        if collect_participants:
+            t_star = event.timestamp
+            if t_star not in participants_at:
+                participants_at[t_star] = matcher.match_at_trigger(t_star)
+            found = participants_at[t_star]
+            if found:
+                for members in found.values():
+                    truth.participants.update(m.key for m in members)
+    return truth
+
+
+def compute_truth(
+    subscriptions: Iterable[Subscription],
+    deployment: Deployment,
+    events: Sequence[SimpleEvent],
+    collect_participants: bool = True,
+    method: str | None = None,
+) -> dict[str, SubscriptionTruth]:
+    """Enumerate every true match instance of every subscription.
+
+    Only events produced by a subscription's own sensors can trigger it,
+    so the scan is proportional to (subscriptions x their group's
+    events), not (subscriptions x all events).  ``method`` selects the
+    truth pass (see module docstring); ``None`` defers to
+    :func:`default_oracle`.
+    """
+    method = default_oracle() if method is None else method
+    index = EventIndex(events)
+    truths: dict[str, SubscriptionTruth] = {}
+    for subscription in subscriptions:
+        operator = oracle_operator(subscription, deployment)
+        truths[subscription.sub_id] = operator_truth(
+            operator,
+            subscription.sub_id,
+            index,
+            collect_participants,
+            method,
+        )
     return truths

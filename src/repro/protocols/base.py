@@ -21,7 +21,13 @@ NodeFactory = Callable[[str, "Network"], "Node"]
 
 @dataclass(frozen=True)
 class Approach:
-    """One evaluated system: metadata + node factory."""
+    """One evaluated system: metadata + node factory.
+
+    ``config`` declares the configuration the node factory closed over
+    (FSF's probabilistic-filter knobs), so consumers that must rebuild
+    the approach in another process — the sharded experiment runner —
+    can re-resolve it from the registry without losing the settings.
+    """
 
     key: str
     name: str
@@ -31,6 +37,7 @@ class Approach:
     make_node: NodeFactory
     floods_advertisements: bool = True
     deterministic_recall: bool = True
+    config: object = None
 
     def populate(self, network: "Network") -> "Network":
         """Instantiate this approach's node on every graph vertex."""

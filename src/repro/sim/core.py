@@ -20,13 +20,14 @@ The kernel is deliberately minimal and dependency-free:
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable, Optional
 
 import numpy as np
+
+from ..seeding import derive_seed
 
 Action = Callable[[], None]
 ProcessGenerator = Generator[float, None, None]
@@ -96,18 +97,16 @@ class Simulator:
 
         Distinct names give independent generators; repeated calls with
         the same name return the same generator instance.  The stream
-        key is derived with a *stable* hash: Python's builtin ``hash``
-        of a str-containing tuple varies with ``PYTHONHASHSEED``, which
-        silently broke the "deterministic, seedable" contract across
-        processes.
+        key is derived with the *stable* hash of :mod:`repro.seeding`:
+        Python's builtin ``hash`` of a str-containing tuple varies with
+        ``PYTHONHASHSEED``, which silently broke the "deterministic,
+        seedable" contract across processes.
         """
         if stream not in self._rngs:
             root = self._seed if self._seed is not None else 0
-            digest = hashlib.blake2b(
-                f"{root}:{stream}".encode("utf-8"), digest_size=8
-            ).digest()
-            key = int.from_bytes(digest, "big") % (2**63)
-            self._rngs[stream] = np.random.default_rng(key)
+            self._rngs[stream] = np.random.default_rng(
+                derive_seed(root, stream)
+            )
         return self._rngs[stream]
 
     # ------------------------------------------------------------------

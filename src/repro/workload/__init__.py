@@ -6,9 +6,11 @@ from .scenarios import (
     LARGE_SOURCES,
     MEDIUM,
     SCALE_ENV_VAR,
+    SCALE_PRESETS,
     SMALL,
     Scenario,
     default_scale,
+    parse_scale,
 )
 from .sensorscope import Replay, ReplayConfig, build_replay
 from .streams import (
@@ -34,6 +36,7 @@ __all__ = [
     "Replay",
     "ReplayConfig",
     "SCALE_ENV_VAR",
+    "SCALE_PRESETS",
     "SMALL",
     "STREAM_PROFILES",
     "Scenario",
@@ -42,6 +45,7 @@ __all__ = [
     "build_replay",
     "default_scale",
     "generate_subscriptions",
+    "parse_scale",
     "prefix",
     "profile_for",
     "station_offset",

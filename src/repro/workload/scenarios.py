@@ -26,16 +26,38 @@ from .subscriptions import SubscriptionWorkloadConfig
 
 SCALE_ENV_VAR = "REPRO_SCALE"
 
+SCALE_PRESETS: dict[str, float] = {
+    "smoke": 0.05,  # fastest signal: 2-3 points per scenario
+    "ci": 0.1,  # the default — full suite in minutes on one core
+    "nightly": 0.4,  # the nightly sharded run (REPRO_WORKERS > 1)
+    "full": 1.0,  # the paper's 100..1000 subscription axis
+}
+"""Named workload scales; ``REPRO_SCALE`` and the CLI's ``--scale``
+accept either a preset name or a float in (0, 1]."""
+
+
+def parse_scale(raw: str) -> float:
+    """A preset name or float literal → validated scale factor."""
+    if raw in SCALE_PRESETS:
+        return SCALE_PRESETS[raw]
+    scale = float(raw)
+    if not 0 < scale <= 1:
+        raise ValueError(
+            f"scale must be a preset {sorted(SCALE_PRESETS)} or in (0, 1], "
+            f"got {raw}"
+        )
+    return scale
+
 
 def default_scale() -> float:
     """Workload scale factor, overridable via the environment."""
     raw = os.environ.get(SCALE_ENV_VAR)
     if raw is None:
-        return 0.1
-    scale = float(raw)
-    if not 0 < scale <= 1:
-        raise ValueError(f"{SCALE_ENV_VAR} must be in (0, 1], got {raw}")
-    return scale
+        return SCALE_PRESETS["ci"]
+    try:
+        return parse_scale(raw)
+    except ValueError as exc:
+        raise ValueError(f"{SCALE_ENV_VAR}: {exc}") from None
 
 
 @dataclass(frozen=True)

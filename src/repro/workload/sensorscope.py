@@ -16,6 +16,7 @@ import numpy as np
 
 from ..model.events import SimpleEvent
 from ..network.topology import Deployment
+from ..seeding import derive_seed
 from .streams import station_offset, synthesize_stream
 
 
@@ -54,9 +55,12 @@ class Replay:
     def shifted(self, offset: float) -> list[SimpleEvent]:
         """The same events with timestamps moved by ``offset``.
 
-        The runner aligns data time with simulation time by shifting
-        the replay to start at the instant the subscription phase
-        finished.
+        The experiment runner shifts every replay by the *fixed*
+        ``repro.experiments.runner.REPLAY_START`` — deliberately not by
+        the instant the subscription phase finished, which differs per
+        approach: a fixed virtual start time keeps the replayed
+        timestamps (and therefore the oracle's ground truth) identical
+        for every approach, as the paper's protocol requires.
         """
         return [
             SimpleEvent(
@@ -74,10 +78,14 @@ class Replay:
 def build_replay(deployment: Deployment, config: ReplayConfig | None = None) -> Replay:
     """Synthesise the measurement campaign for a deployment.
 
-    Deterministic in ``(deployment.seed, config.seed)``; every sensor
-    contributes exactly ``config.rounds`` readings.  The returned
-    medians feed the subscription generator ("ranges ... centered
-    around the median values in the corresponding stream").
+    Deterministic in ``(deployment.seed, config.seed)`` — across
+    *processes* too: per-sensor streams are keyed via
+    :func:`repro.seeding.derive_seed`, never builtin ``hash`` (which
+    varies with ``PYTHONHASHSEED`` and would make sharded workers
+    synthesize different events than the parent computed ground truth
+    for).  Every sensor contributes exactly ``config.rounds`` readings.
+    The returned medians feed the subscription generator ("ranges ...
+    centered around the median values in the corresponding stream").
     """
     cfg = config or ReplayConfig()
     events: list[SimpleEvent] = []
@@ -85,7 +93,7 @@ def build_replay(deployment: Deployment, config: ReplayConfig | None = None) -> 
     spreads: dict[str, float] = {}
     for placement in deployment.sensors:
         rng = np.random.default_rng(
-            (hash((deployment.seed, cfg.seed, placement.sensor_id)) & 0x7FFFFFFF)
+            derive_seed(deployment.seed, cfg.seed, placement.sensor_id)
         )
         offset = station_offset(placement.attribute, placement.group, rng)
         values = synthesize_stream(

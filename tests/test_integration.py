@@ -28,14 +28,13 @@ def arena():
         SubscriptionWorkloadConfig(n_subscriptions=32, attrs_min=3, attrs_max=5, seed=5),
         spreads=replay.spreads,
     )
+    events = replay.shifted(REPLAY_START)
     truths = compute_truth(
-        [p.subscription for p in workload],
-        deployment,
-        replay.shifted(REPLAY_START),
+        [p.subscription for p in workload], deployment, events
     )
     results = {}
     for key, approach in all_approaches().items():
-        results[key] = run_point(approach, deployment, workload, replay, truths=truths)
+        results[key] = run_point(approach, deployment, workload, events, truths=truths)
     return deployment, workload, truths, results
 
 
@@ -82,7 +81,11 @@ class TestCrossApproachInvariants:
         deployment, workload, truths, results = arena
         replay = build_replay(deployment, ReplayConfig(rounds=8, seed=5))
         again = run_point(
-            all_approaches()["fsf"], deployment, workload, replay, truths=truths
+            all_approaches()["fsf"],
+            deployment,
+            workload,
+            replay.shifted(REPLAY_START),
+            truths=truths,
         )
         first = results["fsf"]
         assert again.subscription_load == first.subscription_load

@@ -1,0 +1,114 @@
+"""Machine-checked equivalence: engine-backed oracle ≡ reference scan.
+
+The offline oracle now answers ground truth through the incremental
+matching engine's per-slot timelines (``method="engine"``); the
+original per-trigger window rescan stays selectable as
+``method="reference"``.  These tests drive both passes over the same
+randomized scenarios the engine-vs-reference matcher suite uses
+(:mod:`test_matching_engine` — identified and abstract shapes, finite
+and infinite ``delta_l``, duplicates, out-of-order timestamps, constant
+ties) plus real deployment workloads, and require identical
+``triggers`` and ``participants`` sets for every subscription.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.oracle import (
+    EventIndex,
+    compute_truth,
+    default_oracle,
+    operator_truth,
+)
+from repro.experiments.runner import REPLAY_START
+from repro.network.topology import build_deployment
+from repro.workload.sensorscope import ReplayConfig, build_replay
+from repro.workload.subscriptions import (
+    SubscriptionWorkloadConfig,
+    generate_subscriptions,
+)
+
+from test_matching_engine import random_events, random_operator
+
+
+def assert_same_truth(operator, events) -> int:
+    """Both passes agree on one operator + event set; returns #triggers."""
+    index = EventIndex(events)
+    engine = operator_truth(operator, "q", index, method="engine")
+    reference = operator_truth(operator, "q", index, method="reference")
+    assert engine.triggers == reference.triggers
+    assert engine.participants == reference.participants
+    # And without the participant pass (the cheap triggers-only mode).
+    lean = operator_truth(
+        operator, "q", index, collect_participants=False, method="engine"
+    )
+    assert lean.triggers == reference.triggers
+    assert not lean.participants
+    return len(reference.triggers)
+
+
+# 220 seeds ≥ the property-suite scenario floor, chunked so failures
+# name a reproducible seed range (same convention as the matcher suite).
+@pytest.mark.parametrize("chunk", range(22))
+def test_oracle_engine_equals_reference_randomized(chunk):
+    triggers = 0
+    for seed in range(chunk * 10, chunk * 10 + 10):
+        rng = np.random.default_rng(seed)
+        operator = random_operator(rng)
+        events = random_events(rng, operator, n=int(rng.integers(20, 45)))
+        triggers += assert_same_truth(operator, events)
+    # The generators are tuned so windows genuinely complete; an
+    # all-empty chunk would mean the scenarios stopped testing anything.
+    assert triggers > 0
+
+
+class TestComputeTruthEndToEnd:
+    """Full ``compute_truth`` equality on a real deployment workload —
+    abstract operator resolution, grouped sensors, replayed events."""
+
+    @pytest.fixture(scope="class")
+    def arena(self):
+        deployment = build_deployment(36, 4, seed=5)
+        replay = build_replay(deployment, ReplayConfig(rounds=8, seed=5))
+        workload = generate_subscriptions(
+            deployment,
+            replay.medians,
+            SubscriptionWorkloadConfig(
+                n_subscriptions=24, attrs_min=3, attrs_max=5, seed=5
+            ),
+            spreads=replay.spreads,
+        )
+        subs = [p.subscription for p in workload]
+        return deployment, subs, replay.shifted(REPLAY_START)
+
+    def test_engine_matches_reference(self, arena):
+        deployment, subs, events = arena
+        engine = compute_truth(subs, deployment, events, method="engine")
+        reference = compute_truth(subs, deployment, events, method="reference")
+        assert set(engine) == set(reference)
+        assert sum(t.n_instances for t in reference.values()) > 0
+        for sub_id, truth in reference.items():
+            assert engine[sub_id].triggers == truth.triggers, sub_id
+            assert engine[sub_id].participants == truth.participants, sub_id
+
+    def test_unknown_method_rejected(self, arena):
+        deployment, subs, events = arena
+        with pytest.raises(ValueError):
+            compute_truth(subs[:1], deployment, events, method="psychic")
+
+
+class TestOracleDefault:
+    def test_default_is_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        assert default_oracle() == "engine"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "reference")
+        assert default_oracle() == "reference"
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "fast")
+        with pytest.raises(ValueError):
+            default_oracle()

@@ -1,0 +1,211 @@
+"""Tests for the sharded multi-process experiment runner.
+
+Two families of guarantees:
+
+* **merge fidelity** — `run_series_parallel` reconstructs the serial
+  `SeriesResult` bit-identically (same `RunResult` dataclasses, point
+  for point, same key order);
+* **cross-process determinism** — a full `RunResult` (and a whole
+  sharded series) is identical when computed in subprocesses with
+  *different* `PYTHONHASHSEED` values, which is exactly what the
+  replay-seeding fix (`repro.seeding`) buys: worker processes
+  synthesize the same events the parent computed ground truth for.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from benchlib import tiny_series_scenario
+
+from repro.core import FSFConfig, filter_split_forward_approach
+from repro.experiments import RunResult, run_series, run_series_parallel
+from repro.experiments.parallel import (
+    PointTask,
+    default_workers,
+    merge_points,
+    point_tasks,
+)
+from repro.network.topology import build_deployment
+from repro.protocols.registry import distributed_approaches
+from repro.workload.scenarios import Scenario
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+
+# Shared with the serial-vs-sharded benchmarks, so both exercise the
+# same workload (its module-level factory is picklable, as the sharded
+# runner requires).
+TINY = tiny_series_scenario()
+
+
+class TestMergeFidelity:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_series(TINY, distributed_approaches(), scale=0.1)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_sharded_equals_serial_bit_identically(self, serial, workers):
+        parallel = run_series_parallel(
+            TINY, distributed_approaches(), workers=workers, scale=0.1
+        )
+        assert parallel.counts == serial.counts
+        assert list(parallel.results) == list(serial.results)  # key order
+        assert parallel.results == serial.results  # RunResult dataclasses
+
+    def test_in_process_fallback_equals_serial(self, serial):
+        solo = run_series_parallel(
+            TINY, distributed_approaches(), workers=1, scale=0.1
+        )
+        assert solo.results == serial.results
+
+    def test_approach_keys_accepted_in_place_of_mapping(self, serial):
+        keys = ["naive", "fsf"]
+        parallel = run_series_parallel(TINY, keys, workers=2, scale=0.1)
+        assert list(parallel.results) == keys
+        for key in keys:
+            assert parallel.results[key] == serial.results[key]
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(ValueError, match="registry"):
+            run_series_parallel(TINY, ["warp-drive"], workers=2, scale=0.1)
+
+    def test_custom_fsf_config_harvested_from_mapping(self):
+        """Workers rebuild approaches from the registry, so a custom
+        FSFConfig carried only by the passed-in instances must be
+        re-declared to them — silently running defaults would break the
+        bit-identical contract."""
+        cfg = FSFConfig(error_probability=0.5, gap_fraction=0.5, coarsening=2.0)
+        approaches = {"fsf": filter_split_forward_approach(cfg)}
+        serial = run_series(TINY, approaches, scale=0.1)
+        parallel = run_series_parallel(TINY, approaches, workers=2, scale=0.1)
+        assert parallel.results == serial.results
+        default = run_series_parallel(TINY, ["fsf"], workers=2, scale=0.1)
+        assert parallel.results != default.results  # the config matters
+
+    def test_conflicting_fsf_config_rejected(self):
+        approaches = {"fsf": filter_split_forward_approach(FSFConfig())}
+        with pytest.raises(ValueError, match="fsf_config"):
+            run_series_parallel(
+                TINY,
+                approaches,
+                workers=2,
+                scale=0.1,
+                fsf_config=FSFConfig(error_probability=0.5),
+            )
+
+    def test_unpicklable_scenario_rejected_with_guidance(self):
+        opaque = Scenario(
+            key="lambda-factory",
+            title="unpicklable",
+            deployment_factory=lambda seed: build_deployment(24, 3, seed=seed),
+            paper_subscription_counts=(60, 120),
+        )
+        with pytest.raises(ValueError, match="picklable"):
+            run_series_parallel(opaque, ["naive"], workers=2, scale=0.1)
+
+    def test_partition_is_counts_major_in_key_order(self):
+        tasks = point_tasks(TINY, ["a", "b"], 0.1, 5.0, 0.05, None, None)
+        assert [(t.n, t.approach_key) for t in tasks] == [
+            (6, "a"), (6, "b"), (12, "a"), (12, "b"),
+        ]
+        rebuilt = merge_points(TINY, [6, 12], ["a", "b"], list(range(4)))
+        assert rebuilt.results == {"a": [0, 2], "b": [1, 3]}
+
+    def test_workers_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            default_workers()
+
+
+def _run_under_hashseed(script: str, hashseed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    out = subprocess.run(
+        [sys.executable, "-c", script.format(path=_SRC)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+class TestCrossProcessDeterminism:
+    _POINT_SCRIPT = """
+import sys; sys.path.insert(0, {path!r})
+from repro.experiments.runner import REPLAY_START, run_point
+from repro.metrics.oracle import compute_truth
+from repro.network.topology import build_deployment
+from repro.protocols.registry import all_approaches
+from repro.workload.sensorscope import ReplayConfig, build_replay
+from repro.workload.subscriptions import (
+    SubscriptionWorkloadConfig,
+    generate_subscriptions,
+)
+
+deployment = build_deployment(24, 3, seed=2)
+replay = build_replay(deployment, ReplayConfig(rounds=6, seed=3))
+workload = generate_subscriptions(
+    deployment,
+    replay.medians,
+    SubscriptionWorkloadConfig(n_subscriptions=8, attrs_min=3, attrs_max=5, seed=2),
+    spreads=replay.spreads,
+)
+events = replay.shifted(REPLAY_START)
+print(repr(run_point(all_approaches()["fsf"], deployment, workload, events)))
+"""
+
+    _SERIES_SCRIPT = """
+import sys; sys.path.insert(0, {path!r})
+from repro.experiments import run_series_parallel
+from repro.network.topology import build_deployment
+from repro.workload.scenarios import Scenario
+
+def factory(seed):
+    return build_deployment(24, 3, seed=seed)
+
+scenario = Scenario(
+    key="xproc",
+    title="cross-process determinism",
+    deployment_factory=factory,
+    paper_subscription_counts=(60, 120),
+    attrs_min=3,
+    attrs_max=5,
+)
+series = run_series_parallel(scenario, ["naive", "fsf"], workers=4, scale=0.1)
+for key, runs in series.results.items():
+    for result in runs:
+        print(key, repr(result))
+"""
+
+    def test_run_point_dataclass_equal_across_hashseeds(self):
+        """The satellite acceptance check: one full RunResult, two
+        subprocesses, two different PYTHONHASHSEED values — equal as
+        dataclasses, not merely as strings."""
+        outs = [
+            _run_under_hashseed(self._POINT_SCRIPT, seed)
+            for seed in ("0", "1")
+        ]
+        results = [
+            eval(out, {"RunResult": RunResult}) for out in outs  # noqa: S307
+        ]
+        assert isinstance(results[0], RunResult)
+        assert results[0] == results[1]
+        assert results[0].n_subscriptions == 8
+
+    def test_sharded_series_equal_across_hashseeds(self):
+        """The tentpole acceptance check, scaled to test budget: the
+        sharded runner's whole SeriesResult is identical under two
+        PYTHONHASHSEED values."""
+        a = _run_under_hashseed(self._SERIES_SCRIPT, "0")
+        b = _run_under_hashseed(self._SERIES_SCRIPT, "31337")
+        assert a == b
+        assert "naive" in a and "fsf" in a
