@@ -24,7 +24,7 @@ from ..model.subscriptions import (
     IdentifiedSubscription,
     Subscription,
 )
-from ..network.messages import EventMessage, OperatorMessage
+from ..network.messages import AdvertisementMessage, EventMessage, OperatorMessage
 from ..network.network import Network
 from ..network.node import LOCAL, Node
 from ..protocols.base import Approach
@@ -37,14 +37,49 @@ class CentralizedNode(Node):
     nodes only inject (unicast toward the centre) and receive results.
     """
 
+    def __init__(self, node_id: str, network: "Network") -> None:
+        super().__init__(node_id, network)
+        self._departed_once: set[str] = set()
+
     # ------------------------------------------------------------------
-    # no advertisement flooding in the centralized scheme
+    # no advertisement flooding in the centralized scheme; churn
+    # transitions unicast to the centre instead (the centre holds all
+    # state, so it is the only other node that must fence/unfence)
     # ------------------------------------------------------------------
     def attach_sensor(self, advertisement) -> None:
+        self.store.unfence_sensor(advertisement.sensor_id)
         self.ads.add_local(advertisement)
+        if advertisement.sensor_id in self._departed_once:
+            self._departed_once.discard(advertisement.sensor_id)
+            if self.node_id != self.network.center:
+                self.network.unicast(
+                    self.node_id,
+                    self.network.center,
+                    AdvertisementMessage(advertisement),
+                )
+
+    def detach_sensor(self, sensor_id: str) -> None:
+        advertisement = self.ads.get(sensor_id)
+        if advertisement is None:
+            return
+        self.ads.remove(sensor_id)
+        self.fence_sensor_state(sensor_id)
+        self._departed_once.add(sensor_id)
+        if self.node_id != self.network.center:
+            self.network.unicast(
+                self.node_id,
+                self.network.center,
+                AdvertisementMessage(advertisement, retract=True),
+            )
 
     def handle_advertisement(self, advertisement, origin: str) -> None:
-        raise AssertionError("centralized scheme floods no advertisements")
+        # Only re-join notices arrive here, unicast to the centre.
+        assert self.node_id == self.network.center
+        self.store.unfence_sensor(advertisement.sensor_id)
+
+    def handle_retraction(self, advertisement, origin: str) -> None:
+        assert self.node_id == self.network.center
+        self.fence_sensor_state(advertisement.sensor_id)
 
     # ------------------------------------------------------------------
     # subscription side

@@ -7,7 +7,14 @@ from .parallel import (
     default_workers,
     run_series_parallel,
 )
-from .runner import REPLAY_START, RunResult, SeriesResult, run_point, run_series
+from .runner import (
+    REPLAY_START,
+    RunResult,
+    SeriesResult,
+    run_point,
+    run_series,
+    shifted_churn,
+)
 from .tables import (
     Fig3Walkthrough,
     fig3_deployment,
@@ -36,5 +43,6 @@ __all__ = [
     "run_series",
     "run_series_parallel",
     "scenario_series",
+    "shifted_churn",
     "table_i_subscriptions",
 ]

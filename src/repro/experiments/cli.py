@@ -42,11 +42,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             "table1",
             "table2",
             "fig3",
-            *(f"fig{i}" for i in range(4, 13)),
+            *(f"fig{i}" for i in range(4, 15)),
             "all",
             "experiments-md",
         ],
-        help="what to regenerate",
+        help="what to regenerate (figs 13-14 are the churn family, "
+        "beyond the paper)",
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="include the churn scenario family (figs 13-14) in the "
+        "'all' and 'experiments-md' targets; fig13/fig14 always run it",
     )
     parser.add_argument(
         "--scale",
@@ -113,12 +120,14 @@ def _run(args: argparse.Namespace) -> int:
     elif args.target.startswith("fig"):
         out.append(_figure_command(args.target[3:], args.scale))
     elif args.target == "experiments-md":
-        out.append(build_experiments_md(args.scale))
+        out.append(build_experiments_md(args.scale, include_churn=args.churn))
     else:  # all
         out.append(render_table_i())
         out.append(render_table_2())
         out.append(run_fig3_walkthrough().render())
         for fig_id in sorted(figures.ALL_FIGURES, key=int):
+            if fig_id in figures.CHURN_FIGURES and not args.churn:
+                continue
             out.append(_figure_command(fig_id, args.scale))
     text = "\n\n".join(out) + "\n"
     if args.output:

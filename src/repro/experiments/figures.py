@@ -12,10 +12,15 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..core.filter_split_forward import FSFConfig
-from ..metrics.report import render_series_table, summarize_improvement
+from ..metrics.report import (
+    render_series_table,
+    render_traffic_accounting,
+    summarize_improvement,
+)
 from ..protocols.registry import all_approaches, distributed_approaches
 from ..workload.scenarios import (
     ALL_SCENARIOS,
+    CHURN,
     LARGE_NETWORK,
     LARGE_SOURCES,
     MEDIUM,
@@ -208,6 +213,61 @@ def figure_12(scale: float | None = None) -> FigureResult:
     )
 
 
+def figure_13(scale: float | None = None) -> FigureResult:
+    """Event load under churn — beyond the paper.
+
+    The dynamic-workload family: the small-scale deployment under a
+    two-day drifting, bursty replay where 25% of the sensors leave and
+    rejoin mid-campaign.  The notes carry the full per-kind traffic
+    accounting (the advertisement channel is live during the replay:
+    retraction floods and re-floods are part of the bill).
+    """
+    run = scenario_series(CHURN, scale)
+    accounting = render_traffic_accounting(
+        "Traffic accounting under churn (units, whole series)",
+        {
+            APPROACH_LABELS.get(k, k): results
+            for k, results in run.results.items()
+        },
+    )
+    return FigureResult(
+        "13",
+        "Event load under churn & burst (number of forwarded data units)",
+        "Number of injected queries",
+        tuple(run.counts),
+        {k: tuple(v) for k, v in run.event_series().items()},
+        notes=accounting,
+    )
+
+
+def figure_14(scale: float | None = None) -> FigureResult:
+    """End-user recall under churn — beyond the paper.
+
+    The deterministic approaches measure 100% at the shipped scales: a
+    credited trigger beats the retraction flood whenever they share a
+    path, and the remaining race (a nearer trigger arriving after a
+    farther retraction fenced its filler) is a hops x latency sliver of
+    the delta_t window.  FSF keeps its probabilistic filter trade-off.
+    Deliveries drawn from a departed sensor's not-yet-fenced history
+    are the mirror image — counted by ``RunResult.false_positive_rate``,
+    not by this figure.
+    """
+    run = scenario_series(CHURN, scale)
+    series = {
+        key: tuple(
+            round(100 * r.recall, 1) for r in run.results[key]
+        )
+        for key in run.results
+    }
+    return FigureResult(
+        "14",
+        "End user event recall (%) under churn & burst",
+        "Number of injected queries",
+        tuple(run.counts),
+        series,
+    )
+
+
 ALL_FIGURES = {
     "4": figure_4,
     "5": figure_5,
@@ -218,4 +278,10 @@ ALL_FIGURES = {
     "10": figure_10,
     "11": figure_11,
     "12": figure_12,
+    "13": figure_13,
+    "14": figure_14,
 }
+
+CHURN_FIGURES = ("13", "14")
+"""The dynamic-workload family — beyond the paper, gated behind the
+CLI's ``--churn`` flag for the ``all`` / ``experiments-md`` targets."""

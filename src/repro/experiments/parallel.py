@@ -46,9 +46,14 @@ from ..metrics.oracle import compute_truth
 from ..protocols.base import Approach
 from ..protocols.registry import all_approaches
 from ..workload.scenarios import Scenario, default_scale
-from ..workload.sensorscope import build_replay
 from ..workload.subscriptions import generate_subscriptions
-from .runner import REPLAY_START, RunResult, SeriesResult, run_point
+from .runner import (
+    REPLAY_START,
+    RunResult,
+    SeriesResult,
+    run_point,
+    shifted_churn,
+)
 
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
@@ -104,12 +109,13 @@ def clear_worker_caches() -> None:
 
 
 def _scenario_state(scenario: Scenario, scale: float):
-    """(deployment, workload, shifted events) for one scenario + scale."""
+    """(deployment, workload, shifted events, shifted churn) for one
+    scenario + scale."""
     key = (scenario, scale)
     state = _SCENARIO_STATE.get(key)
     if state is None:
         deployment = scenario.deployment()
-        replay = build_replay(deployment, scenario.replay)
+        replay = scenario.make_replay(deployment)
         counts = scenario.subscription_counts(scale)
         workload = generate_subscriptions(
             deployment,
@@ -117,7 +123,12 @@ def _scenario_state(scenario: Scenario, scale: float):
             scenario.workload_config(max(counts)),
             spreads=replay.spreads,
         )
-        state = (deployment, workload, replay.shifted(REPLAY_START))
+        state = (
+            deployment,
+            workload,
+            replay.shifted(REPLAY_START),
+            shifted_churn(replay),
+        )
         _SCENARIO_STATE[key] = state
     return state
 
@@ -125,7 +136,9 @@ def _scenario_state(scenario: Scenario, scale: float):
 def run_task(task: PointTask) -> RunResult:
     """Execute one matrix point — the worker entry (module-level, so it
     pickles by reference)."""
-    deployment, workload, shifted = _scenario_state(task.scenario, task.scale)
+    deployment, workload, shifted, churn = _scenario_state(
+        task.scenario, task.scale
+    )
     placed = workload[: task.n]
     truth_key = (task.scenario, task.scale, task.n, task.oracle)
     truths = _TRUTH_MEMO.get(truth_key)
@@ -135,6 +148,7 @@ def run_task(task: PointTask) -> RunResult:
             deployment,
             shifted,
             method=task.oracle,
+            churn=churn,
         )
         _TRUTH_MEMO[truth_key] = truths
     approach = all_approaches(task.fsf_config)[task.approach_key]
@@ -146,6 +160,7 @@ def run_task(task: PointTask) -> RunResult:
         truths=truths,
         delta_t=task.delta_t,
         latency=task.latency,
+        churn=churn,
     )
 
 

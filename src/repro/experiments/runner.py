@@ -33,7 +33,7 @@ from ..network.topology import Deployment
 from ..protocols.base import Approach
 from ..sim import Simulator
 from ..workload.scenarios import Scenario, default_scale
-from ..workload.sensorscope import build_replay
+from ..workload.sensorscope import ChurnSchedule
 from ..workload.subscriptions import PlacedSubscription, generate_subscriptions
 
 REPLAY_START = 10_000.0
@@ -44,7 +44,13 @@ the oracle's ground truth) are identical for every approach."""
 
 @dataclass(frozen=True, slots=True)
 class RunResult:
-    """Everything one (approach, subscription count) point produced."""
+    """Everything one (approach, subscription count) point produced.
+
+    ``advertisement_load`` is the setup-time flood (phase 1);
+    ``reflood_load`` is every advertisement unit accrued *after* setup —
+    the churn retraction floods and re-joins' re-floods.  Static
+    scenarios measure 0 there.
+    """
 
     approach: str
     n_subscriptions: int
@@ -59,6 +65,7 @@ class RunResult:
     dropped_subscriptions: int
     complex_deliveries: int
     sim_events: int
+    reflood_load: int = 0
 
 
 def run_point(
@@ -70,6 +77,7 @@ def run_point(
     delta_t: float = 5.0,
     latency: float = 0.05,
     oracle: str | None = None,
+    churn: ChurnSchedule | None = None,
 ) -> RunResult:
     """Run one approach on one subscription prefix; see module docstring.
 
@@ -77,7 +85,10 @@ def run_point(
     (``replay.shifted(REPLAY_START)``): the caller computes the oracle's
     ground truth from the same list, so the scheduled events and the
     truth inputs are literally the same objects — one materialisation
-    per series, not one per (approach, count) point.
+    per series, not one per (approach, count) point.  ``churn`` must be
+    shifted to the same clock (``schedule.shifted(REPLAY_START)``); its
+    join/leave transitions are interleaved with the publications and
+    the oracle fences departed sensors identically.
     """
     sim = Simulator(seed=deployment.seed)
     network = Network(deployment, sim, latency=latency, delta_t=delta_t)
@@ -94,24 +105,33 @@ def run_point(
         network.run_to_quiescence()
     after_subs = network.meter.snapshot()
 
-    # Phase 3: event replay at a fixed virtual start time.
+    # Phase 3: event replay at a fixed virtual start time, interleaved
+    # with the churn schedule's lifecycle transitions.
     if sim.now >= REPLAY_START:
         raise RuntimeError(
             f"subscription phase ran past t={REPLAY_START}; raise REPLAY_START"
         )
     node_of_sensor = {s.sensor_id: s.node_id for s in deployment.sensors}
-    for event in events:
-        sim.at(
+    sim.schedule_timeline(
+        (
             event.timestamp,
             lambda e=event: network.publish(node_of_sensor[e.sensor_id], e),
         )
+        for event in events
+    )
+    if churn is not None:
+        network.schedule_churn(churn)
     network.run_to_quiescence()
     final = network.meter.snapshot()
 
     # Phase 4: recall against the oracle.
     if truths is None:
         truths = compute_truth(
-            [p.subscription for p in placed], deployment, events, method=oracle
+            [p.subscription for p in placed],
+            deployment,
+            events,
+            method=oracle,
+            churn=churn,
         )
     report = measure_recall(truths, network.delivery)
 
@@ -131,6 +151,7 @@ def run_point(
         dropped_subscriptions=len(network.dropped_subscriptions),
         complex_deliveries=sum(network.delivery.complex_deliveries.values()),
         sim_events=sim.processed_events,
+        reflood_load=final.advertisement_units - after_ads.advertisement_units,
     )
 
 
@@ -177,7 +198,7 @@ def run_series(
     """
     dt = scenario.delta_t if delta_t is None else delta_t
     deployment = scenario.deployment()
-    replay = build_replay(deployment, scenario.replay)
+    replay = scenario.make_replay(deployment)
     counts = scenario.subscription_counts(scale)
     workload = generate_subscriptions(
         deployment,
@@ -186,13 +207,18 @@ def run_series(
         spreads=replay.spreads,
     )
     shifted = replay.shifted(REPLAY_START)
+    churn = shifted_churn(replay)
     series = SeriesResult(scenario, counts)
     for key in approaches:
         series.results[key] = []
     for n in counts:
         placed = workload[:n]
         truths = compute_truth(
-            [p.subscription for p in placed], deployment, shifted, method=oracle
+            [p.subscription for p in placed],
+            deployment,
+            shifted,
+            method=oracle,
+            churn=churn,
         )
         for key, approach in approaches.items():
             series.results[key].append(
@@ -204,6 +230,19 @@ def run_series(
                     truths=truths,
                     delta_t=dt,
                     latency=latency,
+                    churn=churn,
                 )
             )
     return series
+
+
+def shifted_churn(replay) -> ChurnSchedule | None:
+    """The replay's churn schedule on the simulation clock, or None.
+
+    Static replays carry no schedule; dynamic replays without cycling
+    sensors collapse to None too, so the common path stays churn-free.
+    """
+    schedule = getattr(replay, "churn", None)
+    if schedule is None or not schedule:
+        return None
+    return schedule.shifted(REPLAY_START)

@@ -139,6 +139,30 @@ class OperatorMatcher:
                 min_ts = timeline.min_timestamp
         self._min_ts = min_ts
 
+    def _refresh_min_ts(self) -> None:
+        """Recompute the earliest indexed timestamp after a fence drop."""
+        self._min_ts = min(
+            (tl.min_timestamp for tl in self._timelines), default=float("inf")
+        )
+
+    def fence_sensor(self, sensor_id: str, until: float = float("inf")) -> int:
+        """Drop indexed events of ``sensor_id`` with ``timestamp <= until``.
+
+        The churn fence, mirrored into the per-slot timelines: the
+        online engine routes here via the store's ``sensor_fenced``
+        listener callback; the offline oracle pass calls it directly as
+        its trigger sweep crosses each scheduled departure.  Returns the
+        number of dropped entries.
+        """
+        dropped = 0
+        for _attribute, _contains, timeline, _index in self._by_sensor.get(
+            sensor_id, ()
+        ):
+            dropped += timeline.drop_sensor(sensor_id, until)
+        if dropped:
+            self._refresh_min_ts()
+        return dropped
+
     # ------------------------------------------------------------------
     # query path
     # ------------------------------------------------------------------
@@ -517,6 +541,16 @@ class MatchingEngine:
 
     def horizon_advanced(self, horizon: float) -> None:
         self.horizon = horizon
+
+    def sensor_fenced(self, sensor_id: str) -> None:
+        """Mirror a store fence: drop the sensor from every matcher.
+
+        Guarded by each matcher's per-sensor index, the scan is O(1)
+        for matchers that never drew from the sensor; churn transitions
+        are rare enough that the linear walk over matchers is noise.
+        """
+        for matcher in self._matchers.values():
+            matcher.fence_sensor(sensor_id)
 
     # ------------------------------------------------------------------
     def matcher(self, operator: CorrelationOperator) -> OperatorMatcher:

@@ -132,6 +132,30 @@ class Timeline:
             return i
         return None
 
+    def drop_sensor(self, sensor_id: str, until: float = _INF) -> int:
+        """Remove entries of ``sensor_id`` with ``timestamp <= until``.
+
+        The churn fence: when a sensor departs, its pre-departure
+        history must leave every slot timeline it was indexed into.
+        Mutates the backing list in place (live views keep observing the
+        timeline, same as :meth:`drop_until`); returns the number of
+        entries removed.  O(n) — churn transitions are orders of
+        magnitude rarer than event arrivals.
+        """
+        entries = self._entries
+        kept = [
+            entry
+            for entry in entries
+            if entry[2] != sensor_id or entry[0] > until
+        ]
+        dropped = len(entries) - len(kept)
+        if dropped:
+            entries[:] = kept
+            self.min_timestamp = (
+                min(entry[0] for entry in entries) if entries else _INF
+            )
+        return dropped
+
     # ------------------------------------------------------------------
     def drop_until(self, horizon: float) -> list[SimpleEvent]:
         """Remove and return every event with ``timestamp <= horizon``."""

@@ -11,7 +11,13 @@ from .oracle import (
     oracle_operator,
 )
 from .recall import RecallReport, measure_recall, per_subscription_recall
-from .report import improvement_over, render_series_table, summarize_improvement
+from .report import (
+    improvement_over,
+    render_series_table,
+    render_traffic_accounting,
+    summarize_improvement,
+    traffic_accounting,
+)
 
 __all__ = [
     "EventIndex",
@@ -27,5 +33,7 @@ __all__ = [
     "oracle_operator",
     "per_subscription_recall",
     "render_series_table",
+    "render_traffic_accounting",
     "summarize_improvement",
+    "traffic_accounting",
 ]

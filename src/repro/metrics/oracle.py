@@ -87,6 +87,36 @@ class EventIndex:
         return out
 
 
+class _FencedIndex:
+    """Churn view over an :class:`EventIndex`.
+
+    As the truth sweep crosses a scheduled departure, :meth:`fence`
+    hides the departed sensor's earlier events from every subsequent
+    window query — the offline equivalent of the store-level fence a
+    retraction flood applies online.  Events after a re-join have later
+    timestamps than the fence and stay visible.
+    """
+
+    __slots__ = ("_index", "_fences")
+
+    def __init__(self, index: EventIndex) -> None:
+        self._index = index
+        self._fences: dict[str, float] = {}
+
+    def fence(self, sensor_id: str, until: float) -> None:
+        previous = self._fences.get(sensor_id)
+        if previous is None or until > previous:
+            self._fences[sensor_id] = until
+
+    def events_for_sensor(
+        self, sensor_id: str, after: float, until: float
+    ) -> Sequence[SimpleEvent]:
+        fence = self._fences.get(sensor_id)
+        if fence is not None and fence > after:
+            after = fence
+        return self._index.events_for_sensor(sensor_id, after, until)
+
+
 @dataclass
 class SubscriptionTruth:
     """Ground truth for one subscription."""
@@ -142,6 +172,7 @@ def operator_truth(
     index: EventIndex,
     collect_participants: bool = True,
     method: str | None = None,
+    churn=None,
 ) -> SubscriptionTruth:
     """Ground truth of one resolved operator over an indexed event set.
 
@@ -151,19 +182,48 @@ def operator_truth(
     its per-slot timelines.  Both enumerate the identical candidate
     triggers (events of the operator's own sensors that fill a slot) and
     produce identical ``triggers`` / ``participants`` sets.
+
+    ``churn`` (a :class:`~repro.workload.sensorscope.ChurnSchedule`,
+    already shifted to the replay clock) makes the truth churn-aware:
+    candidate triggers are swept in timestamp order, and every scheduled
+    departure fences the departed sensor's earlier events out of all
+    later windows — an instance is credited only when each participant's
+    sensor stayed alive through the trigger time.  Both passes apply the
+    identical fence, so engine/reference equivalence is preserved under
+    churn.
     """
     method = default_oracle() if method is None else method
     truth = SubscriptionTruth(sub_id, operator)
     candidates = index.events_of(sorted(operator.sensors))
+    departures: list[tuple[float, str]] = []
+    if churn is not None:
+        departures = [
+            (t, sensor_id)
+            for t, sensor_id in churn.departures()
+            if sensor_id in operator.sensors
+        ]
+    if departures:
+        # The fence sweep below assumes monotone trigger times.
+        candidates.sort(key=lambda e: (e.timestamp, e.key))
+    next_departure = 0
+
     if method == "reference":
+        provider = _FencedIndex(index) if departures else index
         for event in candidates:
+            while (
+                next_departure < len(departures)
+                and departures[next_departure][0] <= event.timestamp
+            ):
+                when, sensor_id = departures[next_departure]
+                provider.fence(sensor_id, when)
+                next_departure += 1
             if operator.slot_for_event(event) is None:
                 continue
-            if not instance_exists(operator, index, event):
+            if not instance_exists(operator, provider, event):
                 continue
             truth.triggers.add(event.key)
             if collect_participants:
-                found = match_at_trigger(operator, index, event.timestamp)
+                found = match_at_trigger(operator, provider, event.timestamp)
                 if found:
                     for members in found.values():
                         truth.participants.update(m.key for m in members)
@@ -175,8 +235,17 @@ def operator_truth(
         matcher.ingest(event)
     # Equal-timestamp triggers share one window; memoise per timestamp
     # (the reference recomputes — same result, it is the slow path).
+    # The memo stays sound under churn: fences are applied before the
+    # first probe at a timestamp, and equal timestamps see equal fences.
     participants_at: dict[float, dict | None] = {}
     for event in candidates:
+        while (
+            next_departure < len(departures)
+            and departures[next_departure][0] <= event.timestamp
+        ):
+            when, sensor_id = departures[next_departure]
+            matcher.fence_sensor(sensor_id, when)
+            next_departure += 1
         if operator.slot_for_event(event) is None:
             continue
         if not matcher.instance_exists(event):
@@ -199,6 +268,7 @@ def compute_truth(
     events: Sequence[SimpleEvent],
     collect_participants: bool = True,
     method: str | None = None,
+    churn=None,
 ) -> dict[str, SubscriptionTruth]:
     """Enumerate every true match instance of every subscription.
 
@@ -206,7 +276,9 @@ def compute_truth(
     so the scan is proportional to (subscriptions x their group's
     events), not (subscriptions x all events).  ``method`` selects the
     truth pass (see module docstring); ``None`` defers to
-    :func:`default_oracle`.
+    :func:`default_oracle`.  ``churn`` — the scenario's churn schedule,
+    shifted to the same clock as ``events`` — fences departed sensors'
+    history (see :func:`operator_truth`).
     """
     method = default_oracle() if method is None else method
     index = EventIndex(events)
@@ -219,5 +291,6 @@ def compute_truth(
             index,
             collect_participants,
             method,
+            churn=churn,
         )
     return truths

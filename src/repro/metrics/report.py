@@ -33,6 +33,55 @@ def render_series_table(
     return "\n".join(lines)
 
 
+def traffic_accounting(results: Sequence[object]) -> dict[str, int]:
+    """Total data units per kind over one approach's series of results.
+
+    Works on any sequence of :class:`~repro.experiments.runner.RunResult`
+    (duck-typed, so the metrics layer stays import-light).  The
+    advertisement total deliberately **includes** churn-time retraction
+    and re-flood traffic (``reflood_load``) on top of the setup flood:
+    under churn the advertisement channel is live for the whole run, and
+    accounting that only looked at setup would silently undercount it.
+    """
+    subscription = sum(r.subscription_load for r in results)
+    event = sum(r.event_load for r in results)
+    setup_ads = sum(r.advertisement_load for r in results)
+    reflood = sum(getattr(r, "reflood_load", 0) for r in results)
+    return {
+        "subscription_units": subscription,
+        "event_units": event,
+        "advertisement_units": setup_ads + reflood,
+        "reflood_units": reflood,
+        "total_units": subscription + event + setup_ads + reflood,
+    }
+
+
+def render_traffic_accounting(
+    title: str, per_approach: Mapping[str, Sequence[object]]
+) -> str:
+    """Per-approach unit totals (one row each), re-flood included."""
+    kinds = ("subscription", "event", "advertisement", "reflood", "total")
+    header = ["approach"] + [f"{kind} units" for kind in kinds]
+    rows: list[list[str]] = [header]
+    for name, results in per_approach.items():
+        totals = traffic_accounting(results)
+        rows.append([name] + [str(totals[f"{kind}_units"]) for kind in kinds])
+    widths = [
+        max(len(row[c]) for row in rows) for c in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                cell.rjust(w) if j else cell.ljust(w)
+                for j, (cell, w) in enumerate(zip(row, widths))
+            )
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def improvement_over(
     ours: Sequence[float], theirs: Sequence[float]
 ) -> list[float]:

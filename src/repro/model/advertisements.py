@@ -66,6 +66,21 @@ class AdvertisementTable:
         """Store an advertisement of a locally attached sensor."""
         return self.add(self.LOCAL, advertisement)
 
+    def remove(self, sensor_id: str) -> bool:
+        """Forget a retracted sensor; False when it was never known.
+
+        The churn counterpart of :meth:`add`: a retraction flood removes
+        the reverse-path entry, so a later re-join advertisement is
+        *new* again and re-floods through the whole network (the flood
+        of :meth:`add` would otherwise stop at the first node that still
+        remembered the sensor).
+        """
+        origin = self._next_hop.pop(sensor_id, None)
+        if origin is None:
+            return False
+        self._by_origin[origin].pop(sensor_id, None)
+        return True
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------

@@ -41,6 +41,8 @@ class StoreListener(Protocol):
 
     def horizon_advanced(self, horizon: float) -> None: ...
 
+    def sensor_fenced(self, sensor_id: str) -> None: ...
+
 
 class EventStore:
     """Timestamp-ordered, sensor-indexed set of unexpired events."""
@@ -53,6 +55,7 @@ class EventStore:
         self._keys: set[EventKey] = set()
         self._latest = float("-inf")
         self._horizon = float("-inf")
+        self._fences: dict[str, float] = {}
         self._listeners: list[StoreListener] = []
 
     # ------------------------------------------------------------------
@@ -77,6 +80,9 @@ class EventStore:
             return False
         if now - event.timestamp > self.validity:
             return False
+        fence = self._fences.get(event.sensor_id)
+        if fence is not None and event.timestamp <= fence:
+            return False  # pre-departure straggler of a retracted sensor
         self._advance_horizon(now - self.validity)
         timeline = self._by_sensor.get(event.sensor_id)
         if timeline is None:
@@ -95,6 +101,40 @@ class EventStore:
             self._horizon = horizon
             for listener in self._listeners:
                 listener.horizon_advanced(horizon)
+
+    # ------------------------------------------------------------------
+    # churn fences
+    # ------------------------------------------------------------------
+    def fence_sensor(self, sensor_id: str, now: float) -> list[EventKey]:
+        """Retract a departed sensor's history; returns the removed keys.
+
+        Called when an advertisement retraction arrives: the sensor's
+        stored events are dropped, listeners mirror the drop
+        (``sensor_fenced``), and until :meth:`unfence_sensor` any
+        arriving event of the sensor stamped at or before ``now`` is
+        rejected — a forwarded copy of pre-departure history must not
+        re-enter through a slower path after the fence.  Returned keys
+        let the node clean its per-event forwarded-to flags, exactly as
+        :meth:`prune` does.
+        """
+        fence = max(now, self._fences.get(sensor_id, float("-inf")))
+        self._fences[sensor_id] = fence
+        removed: list[EventKey] = []
+        timeline = self._by_sensor.pop(sensor_id, None)
+        if timeline:
+            removed = [e.key for e in timeline.drop_until(float("inf"))]
+            self._keys.difference_update(removed)
+        for listener in self._listeners:
+            listener.sensor_fenced(sensor_id)
+        return removed
+
+    def unfence_sensor(self, sensor_id: str) -> None:
+        """Lift the fence when the sensor re-advertises (re-join)."""
+        self._fences.pop(sensor_id, None)
+
+    def fence_of(self, sensor_id: str) -> float | None:
+        """The active fence timestamp, None when the sensor is unfenced."""
+        return self._fences.get(sensor_id)
 
     def __contains__(self, key: EventKey) -> bool:
         return key in self._keys

@@ -23,9 +23,19 @@ from ..model.operators import CorrelationOperator
 
 @dataclass(frozen=True, slots=True)
 class AdvertisementMessage:
-    """Flooded ``DSA_d`` (Algorithm 1)."""
+    """Flooded ``DSA_d`` (Algorithm 1), or its retraction.
+
+    ``retract=True`` floods the *departure* of a sensor: receivers drop
+    the advertisement, fence the sensor's stored events and forward the
+    retraction — the inverse of Algorithm 1, introduced for churn.  A
+    later re-join floods the plain advertisement again (the re-flood
+    path).  Retractions cost one advertisement unit per link, exactly
+    like the advertisement they cancel; both are part of the
+    advertisement load the churn experiments account for.
+    """
 
     advertisement: Advertisement
+    retract: bool = False
 
     @property
     def subscription_units(self) -> int:

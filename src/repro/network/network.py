@@ -146,6 +146,47 @@ class Network:
         for placement in self.deployment.sensors:
             self.attach_sensor(placement.node_id, placement)
 
+    def detach_sensor(self, node_id: str, sensor_id: str) -> None:
+        """Churn leave: retract a sensor from its hosting node."""
+        self.nodes[node_id].detach_sensor(sensor_id)
+
+    def schedule_churn(self, schedule) -> int:
+        """Schedule a churn schedule's join/leave transitions.
+
+        ``schedule`` is a :class:`~repro.workload.sensorscope.ChurnSchedule`
+        (duck-typed via ``transitions()`` to keep the network layer free
+        of workload imports).  Transition times must already be in this
+        simulation's clock (the experiment runner shifts them together
+        with the replayed events).  Lifecycle edges run at agenda
+        priority 1: a reading stamped at the exact departure instant is
+        published before its node departs, a deterministic tie-break.
+        Returns the number of transitions scheduled.
+        """
+        node_of_sensor = {
+            s.sensor_id: s for s in self.deployment.sensors
+        }
+        entries = []
+        for time, sensor_id, kind in schedule.transitions():
+            placement = node_of_sensor[sensor_id]
+            if kind == "leave":
+                entries.append(
+                    (
+                        time,
+                        lambda p=placement: self.detach_sensor(
+                            p.node_id, p.sensor_id
+                        ),
+                    )
+                )
+            else:
+                entries.append(
+                    (
+                        time,
+                        lambda p=placement: self.attach_sensor(p.node_id, p),
+                    )
+                )
+        self.sim.schedule_timeline(entries, priority=1)
+        return len(entries)
+
     def inject_subscription(self, node_id: str, subscription: Subscription) -> None:
         """Register a user subscription at ``node_id``."""
         self.delivery.register(subscription.sub_id)

@@ -162,7 +162,10 @@ class Node:
         elif isinstance(message, OperatorMessage):
             self.handle_operator(message.operator, origin)
         elif isinstance(message, AdvertisementMessage):
-            self.handle_advertisement(message.advertisement, origin)
+            if message.retract:
+                self.handle_retraction(message.advertisement, origin)
+            else:
+                self.handle_advertisement(message.advertisement, origin)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown message {message!r}")
 
@@ -207,12 +210,40 @@ class Node:
     # injection entry points
     # ------------------------------------------------------------------
     def attach_sensor(self, advertisement: Advertisement) -> None:
-        """Algorithm 1, lines 2-7: local sensor appears, flood its DSA."""
+        """Algorithm 1, lines 2-7: local sensor appears, flood its DSA.
+
+        Also the churn *re-join* path: a sensor whose advertisement was
+        retracted on departure is new again, so the same flood carries
+        its return through the whole network (the re-flood), lifting the
+        local event fence on the way.
+        """
+        self.store.unfence_sensor(advertisement.sensor_id)
         if not self.ads.add_local(advertisement):
             return
         for neighbor in self.neighbors:
             self.network.send(
                 self.node_id, neighbor, AdvertisementMessage(advertisement)
+            )
+
+    def detach_sensor(self, sensor_id: str) -> None:
+        """Churn leave: retract a locally attached sensor everywhere.
+
+        The inverse of :meth:`attach_sensor`: the advertisement is
+        removed from the local table, the sensor's stored history is
+        fenced, and a retraction floods outward so every other node does
+        the same (:meth:`handle_retraction`).  Unknown or already
+        detached sensors are a no-op.
+        """
+        advertisement = self.ads.get(sensor_id)
+        if advertisement is None:
+            return
+        self.ads.remove(sensor_id)
+        self.fence_sensor_state(sensor_id)
+        for neighbor in self.neighbors:
+            self.network.send(
+                self.node_id,
+                neighbor,
+                AdvertisementMessage(advertisement, retract=True),
             )
 
     def publish(self, event: SimpleEvent) -> None:
@@ -264,7 +295,15 @@ class Node:
     # protocol hooks
     # ------------------------------------------------------------------
     def handle_advertisement(self, advertisement: Advertisement, origin: str) -> None:
-        """Algorithm 1, lines 8-13: store and flood onwards."""
+        """Algorithm 1, lines 8-13: store and flood onwards.
+
+        A re-join advertisement of a previously retracted sensor takes
+        exactly this path (the retraction removed the table entry, so
+        the flood does not stop early) and lifts the event fence: events
+        the sensor publishes after rejoining are stored and matched
+        again.
+        """
+        self.store.unfence_sensor(advertisement.sensor_id)
         if not self.ads.add(origin, advertisement):
             return
         for neighbor in self.neighbors:
@@ -272,6 +311,34 @@ class Node:
                 self.network.send(
                     self.node_id, neighbor, AdvertisementMessage(advertisement)
                 )
+
+    def handle_retraction(self, advertisement: Advertisement, origin: str) -> None:
+        """Churn leave, remote side: forget, fence and flood onwards.
+
+        Mirrors :meth:`handle_advertisement` for departures: the reverse
+        advertisement path entry is removed (so a later re-join floods
+        through again), the departed sensor's stored events are fenced
+        out of matching, and the retraction continues through the tree.
+        The duplicate guard is the table itself — an unknown sensor
+        means the flood already passed here.
+        """
+        if not self.ads.remove(advertisement.sensor_id):
+            return
+        self.fence_sensor_state(advertisement.sensor_id)
+        for neighbor in self.neighbors:
+            if neighbor != origin:
+                self.network.send(
+                    self.node_id,
+                    neighbor,
+                    AdvertisementMessage(advertisement, retract=True),
+                )
+
+    def fence_sensor_state(self, sensor_id: str) -> None:
+        """Drop a departed sensor's events from ``U`` and the per-event
+        forwarded-to flags (the matching engine mirrors the drop through
+        the store's listener protocol)."""
+        for key in self.store.fence_sensor(sensor_id, self.now):
+            self._sent.pop(key, None)
 
     def handle_operator(self, operator: CorrelationOperator, origin: str) -> None:
         raise NotImplementedError

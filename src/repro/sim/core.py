@@ -128,6 +128,21 @@ class Simulator:
             raise SimulationError(f"negative delay {delay:g}")
         return self.at(self._now + delay, action, priority)
 
+    def schedule_timeline(
+        self,
+        entries: Iterable[tuple[float, Action]],
+        priority: int = 0,
+    ) -> list[Handle]:
+        """Bulk-schedule ``(absolute time, action)`` pairs.
+
+        The injection API for pre-materialised timelines — the
+        experiment runner feeds it the replayed publications and the
+        churn schedule's join/leave transitions.  ``priority`` orders
+        simultaneous entries against other agenda activity (lifecycle
+        transitions run at priority 1, after same-instant publications).
+        """
+        return [self.at(time, action, priority) for time, action in entries]
+
     def process(self, generator: ProcessGenerator) -> None:
         """Drive a generator process: each ``yield d`` sleeps ``d`` units.
 

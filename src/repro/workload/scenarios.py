@@ -21,7 +21,14 @@ from ..network.topology import (
     medium_scale,
     small_scale,
 )
-from .sensorscope import ReplayConfig
+from .sensorscope import (
+    ChurnConfig,
+    DynamicReplayConfig,
+    Replay,
+    ReplayConfig,
+    build_dynamic_replay,
+    build_replay,
+)
 from .subscriptions import SubscriptionWorkloadConfig
 
 SCALE_ENV_VAR = "REPRO_SCALE"
@@ -62,7 +69,14 @@ def default_scale() -> float:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One experiment setting: deployment + workload axes."""
+    """One experiment setting: deployment + workload axes.
+
+    ``dynamic`` switches the scenario to the multi-day drifting replay;
+    ``churn`` (requires ``dynamic``) adds the leave/rejoin schedule the
+    network layer turns into retraction floods and re-floods.  Both are
+    frozen config dataclasses, so scenarios stay hashable and picklable
+    for the sharded runner's memo keys.
+    """
 
     key: str
     title: str
@@ -72,11 +86,19 @@ class Scenario:
     attrs_max: int = 5
     include_centralized: bool = False
     replay: ReplayConfig = field(default_factory=ReplayConfig)
+    dynamic: DynamicReplayConfig | None = None
+    churn: ChurnConfig | None = None
     delta_t: float = 5.0
     seed: int = 0
 
     def deployment(self) -> Deployment:
         return self.deployment_factory(self.seed)
+
+    def make_replay(self, deployment: Deployment) -> Replay:
+        """The scenario's measurement campaign (static or dynamic)."""
+        if self.dynamic is not None:
+            return build_dynamic_replay(deployment, self.dynamic, self.churn)
+        return build_replay(deployment, self.replay)
 
     def subscription_counts(self, scale: float | None = None) -> list[int]:
         """The measurement axis, scaled (at least 2 points, >= 5 subs)."""
@@ -132,6 +154,21 @@ LARGE_SOURCES = Scenario(
     paper_subscription_counts=_PAPER_AXIS_900,
 )
 
+CHURN = Scenario(
+    key="churn",
+    title="Churn & burst (60 nodes, 2 drifting days, 25% of sensors cycling)",
+    deployment_factory=small_scale,
+    paper_subscription_counts=(100, 300, 500),
+    attrs_min=3,
+    attrs_max=5,
+    dynamic=DynamicReplayConfig(days=2, rounds_per_day=18, day_seconds=240.0),
+    churn=ChurnConfig(cycle_fraction=0.25),
+)
+"""The dynamic-workload family: the small-scale deployment under a
+two-day drifting, Pareto-bursty replay where a quarter of the sensors
+leaves and rejoins mid-campaign — the first scenario to exercise the
+advertisement retraction/re-flood path and the churn-aware oracle."""
+
 ALL_SCENARIOS: dict[str, Scenario] = {
-    s.key: s for s in (SMALL, MEDIUM, LARGE_NETWORK, LARGE_SOURCES)
+    s.key: s for s in (SMALL, MEDIUM, LARGE_NETWORK, LARGE_SOURCES, CHURN)
 }

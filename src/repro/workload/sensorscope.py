@@ -5,19 +5,45 @@ per-sensor, per-round jitter smaller than the temporal correlation
 distance — readings of one round correlate, consecutive rounds do not
 bleed into each other, mirroring the fixed sampling intervals of the
 SensorScope stations.
+
+Two replay families live here:
+
+* the **static** replay (:class:`ReplayConfig` / :func:`build_replay`)
+  — one smooth day at a fixed round period, the seed workload every
+  figure of the paper runs on;
+* the **dynamic** replay (:class:`DynamicReplayConfig` /
+  :func:`build_dynamic_replay`) — multiple compressed days with
+  per-day value drift, diurnal rate modulation and Pareto-bursty round
+  pacing, plus an optional **churn schedule**
+  (:class:`ChurnConfig` / :class:`ChurnSchedule`): a subset of sensors
+  leaves and rejoins at scheduled times, publishing nothing while away.
+  The network layer turns those transitions into advertisement
+  retraction floods and re-floods; the oracle fences departed sensors'
+  history at each departure.
+
+Everything is seeded through :func:`repro.seeding.derive_seed`, so both
+families are bit-identical across processes and ``PYTHONHASHSEED``
+values — the sharded experiment runner depends on it.
 """
 
 from __future__ import annotations
 
+import bisect
+import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
 from ..model.events import SimpleEvent
 from ..network.topology import Deployment
 from ..seeding import derive_seed
-from .streams import station_offset, synthesize_stream
+from .streams import (
+    bursty_round_times,
+    station_offset,
+    synthesize_stream,
+    synthesize_stream_at,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,7 +75,23 @@ class Replay:
     def n_events(self) -> int:
         return len(self.events)
 
+    @property
+    def sensor_ids(self) -> list[str]:
+        """Sensors that actually contributed events, sorted.
+
+        Under churn this can be a strict subset of the deployment's
+        sensors (a sensor that departs early and never rejoins may
+        publish nothing at all).
+        """
+        return sorted({e.sensor_id for e in self.events})
+
     def events_of_sensor(self, sensor_id: str) -> list[SimpleEvent]:
+        """Events of ``sensor_id``, in replay order.
+
+        Returns an empty list for a sensor absent from the replay —
+        churn makes absence a normal outcome, not an error, so callers
+        never have to special-case departed sensors.
+        """
         return [e for e in self.events if e.sensor_id == sensor_id]
 
     def shifted(self, offset: float) -> list[SimpleEvent]:
@@ -120,3 +162,312 @@ def build_replay(deployment: Deployment, config: ReplayConfig | None = None) -> 
             )
     events.sort(key=lambda e: (e.timestamp, e.sensor_id))
     return Replay(events, medians, spreads, cfg)
+
+
+# ---------------------------------------------------------------------------
+# dynamic replay: multi-day drift, bursty pacing, sensor churn
+# ---------------------------------------------------------------------------
+_INF = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class DynamicReplayConfig:
+    """Shape of a multi-day drifting, bursty measurement campaign.
+
+    ``day_seconds`` compresses a simulated day into affordable virtual
+    time; the diurnal structure (value sinusoid and rate modulation)
+    runs on this period.  ``drift_per_day`` shifts every stream's mean
+    by that many noise-sigmas per day, so day two genuinely differs
+    from day one.  Round pacing is shared by all sensors (readings of
+    one round still correlate within the jitter), but gaps between
+    rounds are diurnally modulated and Pareto-bursty — see
+    :func:`repro.workload.streams.bursty_round_times`.
+    """
+
+    days: int = 2
+    rounds_per_day: int = 24
+    day_seconds: float = 240.0
+    drift_per_day: float = 1.5
+    rate_amplitude: float = 0.5
+    burst_shape: float = 2.5
+    jitter: float = 2.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+        if self.rounds_per_day <= 0:
+            raise ValueError("rounds_per_day must be positive")
+        if self.day_seconds <= 0:
+            raise ValueError("day_seconds must be positive")
+        if not 0 <= self.rate_amplitude < 1:
+            raise ValueError("rate_amplitude must be in [0, 1)")
+        if self.burst_shape <= 1:
+            raise ValueError("burst_shape must exceed 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    @property
+    def rounds(self) -> int:
+        return self.days * self.rounds_per_day
+
+    @property
+    def base_gap(self) -> float:
+        return self.day_seconds / self.rounds_per_day
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Which fraction of the deployment cycles, and how.
+
+    Off-durations and margins are expressed as fractions of the replay
+    span so one configuration scales with any campaign length.  The
+    start margin keeps every sensor present while subscriptions
+    register (the runner injects them before the replay); the end
+    margin guarantees rejoined sensors publish again, so the
+    advertisement re-flood path is always followed by live traffic.
+    """
+
+    cycle_fraction: float = 0.25
+    cycles: int = 1
+    min_off_fraction: float = 0.10
+    max_off_fraction: float = 0.20
+    start_margin: float = 0.15
+    end_margin: float = 0.15
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cycle_fraction <= 1:
+            raise ValueError("cycle_fraction must be in [0, 1]")
+        if self.cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        if not 0 < self.min_off_fraction <= self.max_off_fraction:
+            raise ValueError("need 0 < min_off_fraction <= max_off_fraction")
+        if not 0 <= self.start_margin < 1 or not 0 <= self.end_margin < 1:
+            raise ValueError("margins must be in [0, 1)")
+        if self.start_margin + self.end_margin >= 0.9:
+            raise ValueError("margins leave no room for churn")
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """Per-sensor alive intervals; sensors not listed are always alive.
+
+    ``intervals[sensor_id]`` is a sorted tuple of half-open alive
+    intervals ``[start, end)``; the first starts at ``-inf`` (every
+    sensor is present when the network is set up) and the last ends at
+    ``+inf`` when the sensor's final rejoin sticks.  A sensor publishes
+    only while alive, and a **departure** (a finite interval end) fences
+    the sensor's history: events from before the departure cannot take
+    part in matches triggered at or after it.
+    """
+
+    intervals: Mapping[str, tuple[tuple[float, float], ...]]
+
+    @property
+    def cycling_sensors(self) -> list[str]:
+        return sorted(self.intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def alive_at(self, sensor_id: str, t: float) -> bool:
+        spans = self.intervals.get(sensor_id)
+        if spans is None:
+            return True
+        return self.interval_index(sensor_id, t) is not None
+
+    def interval_index(self, sensor_id: str, t: float) -> int | None:
+        """Index of the alive interval containing ``t`` (None if away)."""
+        spans = self.intervals.get(sensor_id)
+        if spans is None:
+            return 0
+        i = bisect.bisect_right([s[0] for s in spans], t) - 1
+        if i >= 0 and spans[i][0] <= t < spans[i][1]:
+            return i
+        return None
+
+    def same_interval(self, sensor_id: str, t_a: float, t_b: float) -> bool:
+        """Whether ``t_a`` and ``t_b`` fall in one alive interval —
+        the oracle's churn rule: an event may participate in a match
+        only when its sensor stayed alive through the trigger time."""
+        a = self.interval_index(sensor_id, t_a)
+        return a is not None and a == self.interval_index(sensor_id, t_b)
+
+    def transitions(self) -> list[tuple[float, str, str]]:
+        """Every finite lifecycle edge as ``(time, sensor_id, kind)``,
+        time-ordered; ``kind`` is ``"leave"`` or ``"join"``."""
+        out: list[tuple[float, str, str]] = []
+        for sensor_id, spans in self.intervals.items():
+            for start, end in spans:
+                if not math.isinf(start):
+                    out.append((start, sensor_id, "join"))
+                if not math.isinf(end):
+                    out.append((end, sensor_id, "leave"))
+        out.sort()
+        return out
+
+    def departures(self) -> list[tuple[float, str]]:
+        """Finite interval ends, time-ordered — the oracle's fence list."""
+        return [
+            (t, sensor_id)
+            for t, sensor_id, kind in self.transitions()
+            if kind == "leave"
+        ]
+
+    def shifted(self, offset: float) -> "ChurnSchedule":
+        """The same schedule moved by ``offset`` (infinite bounds stay)."""
+
+        def move(x: float) -> float:
+            return x if math.isinf(x) else x + offset
+
+        return ChurnSchedule(
+            {
+                sensor_id: tuple((move(s), move(e)) for s, e in spans)
+                for sensor_id, spans in self.intervals.items()
+            }
+        )
+
+
+def build_churn_schedule(
+    deployment: Deployment, span: float, config: ChurnConfig | None = None
+) -> ChurnSchedule:
+    """Deterministic leave/rejoin schedule over a replay of ``span``.
+
+    Seeded per sensor via :func:`repro.seeding.derive_seed`, so the
+    schedule of one sensor never depends on how many others cycle (and
+    never on ``PYTHONHASHSEED``).  Each cycling sensor gets
+    ``config.cycles`` leave/rejoin pairs inside the margin-trimmed
+    window, each cycle confined to its own equal slice of the window so
+    cycles never overlap.
+    """
+    cfg = config or ChurnConfig()
+    if span <= 0:
+        raise ValueError("span must be positive")
+    sensor_ids = sorted(s.sensor_id for s in deployment.sensors)
+    k = round(cfg.cycle_fraction * len(sensor_ids))
+    if k == 0:
+        return ChurnSchedule({})
+    picker = np.random.default_rng(
+        derive_seed(deployment.seed, cfg.seed, "churn-members")
+    )
+    chosen = sorted(
+        sensor_ids[i]
+        for i in picker.choice(len(sensor_ids), size=k, replace=False)
+    )
+    window_lo = cfg.start_margin * span
+    window_hi = (1.0 - cfg.end_margin) * span
+    slice_len = (window_hi - window_lo) / cfg.cycles
+    intervals: dict[str, tuple[tuple[float, float], ...]] = {}
+    for sensor_id in chosen:
+        rng = np.random.default_rng(
+            derive_seed(deployment.seed, cfg.seed, "churn", sensor_id)
+        )
+        spans: list[tuple[float, float]] = []
+        previous_start = -_INF
+        for c in range(cfg.cycles):
+            lo = window_lo + c * slice_len
+            off = span * float(
+                rng.uniform(cfg.min_off_fraction, cfg.max_off_fraction)
+            )
+            off = min(off, 0.8 * slice_len)  # the cycle must fit its slice
+            leave = lo + float(rng.uniform(0.0, slice_len - off))
+            spans.append((previous_start, leave))
+            previous_start = leave + off
+        spans.append((previous_start, _INF))
+        intervals[sensor_id] = tuple(spans)
+    return ChurnSchedule(intervals)
+
+
+@dataclass
+class DynamicReplay(Replay):
+    """A dynamic campaign: events + the churn schedule that shaped them."""
+
+    round_times: tuple[float, ...] = ()
+    churn: ChurnSchedule = field(default_factory=lambda: ChurnSchedule({}))
+
+    @property
+    def span(self) -> float:
+        """Length of the campaign (last round time + jitter headroom)."""
+        cfg = self.config
+        jitter = cfg.jitter if isinstance(cfg, DynamicReplayConfig) else 0.0
+        return (self.round_times[-1] + jitter) if self.round_times else 0.0
+
+
+def build_dynamic_replay(
+    deployment: Deployment,
+    config: DynamicReplayConfig | None = None,
+    churn: ChurnConfig | None = None,
+) -> DynamicReplay:
+    """Synthesise a multi-day drifting campaign with optional churn.
+
+    Deterministic in ``(deployment.seed, config.seed, churn.seed)``
+    across processes (all randomness routes through
+    :func:`repro.seeding.derive_seed`).  Medians and spreads are
+    computed over each sensor's *full* synthesized series — churn
+    removes publications, not statistics — so subscription generation
+    is identical with and without a churn schedule, and a sensor that
+    departs early still has a well-defined median for subscriptions to
+    centre on.
+    """
+    cfg = config or DynamicReplayConfig()
+    clock_rng = np.random.default_rng(
+        derive_seed(deployment.seed, cfg.seed, "round-clock")
+    )
+    round_times = bursty_round_times(
+        cfg.rounds,
+        cfg.base_gap,
+        clock_rng,
+        day_seconds=cfg.day_seconds,
+        rate_amplitude=cfg.rate_amplitude,
+        burst_shape=cfg.burst_shape,
+    )
+    span = float(round_times[-1]) + cfg.jitter
+    schedule = (
+        build_churn_schedule(deployment, span, churn)
+        if churn is not None
+        else ChurnSchedule({})
+    )
+    events: list[SimpleEvent] = []
+    medians: dict[str, float] = {}
+    spreads: dict[str, float] = {}
+    for placement in deployment.sensors:
+        rng = np.random.default_rng(
+            derive_seed(deployment.seed, cfg.seed, placement.sensor_id)
+        )
+        offset = station_offset(placement.attribute, placement.group, rng)
+        values = synthesize_stream_at(
+            placement.attribute,
+            round_times,
+            rng,
+            offset,
+            day_seconds=cfg.day_seconds,
+            drift_per_day=cfg.drift_per_day,
+        )
+        medians[placement.sensor_id] = float(np.median(values))
+        lo, hi = np.percentile(values, [16.0, 84.0])
+        spreads[placement.sensor_id] = max(float(hi - lo) / 2.0, 1e-6)
+        jitters = rng.uniform(-cfg.jitter, cfg.jitter, size=cfg.rounds)
+        for r in range(cfg.rounds):
+            timestamp = max(float(round_times[r]) + float(jitters[r]), 1e-9)
+            if not schedule.alive_at(placement.sensor_id, timestamp):
+                continue  # away sensors publish nothing
+            events.append(
+                SimpleEvent(
+                    placement.sensor_id,
+                    placement.attribute.name,
+                    placement.location,
+                    float(values[r]),
+                    timestamp,
+                    seq=r,
+                )
+            )
+    events.sort(key=lambda e: (e.timestamp, e.sensor_id))
+    return DynamicReplay(
+        events,
+        medians,
+        spreads,
+        cfg,
+        round_times=tuple(float(t) for t in round_times),
+        churn=schedule,
+    )

@@ -105,12 +105,27 @@ class TestCli:
         with pytest.raises(SystemExit):
             cli_main(["fig99"])
 
+    def test_churn_figure_target(self, capsys):
+        figures.clear_cache()
+        try:
+            assert cli_main(["fig13", "--scale", "0.05"]) == 0
+            out = capsys.readouterr().out
+            assert "Event load under churn" in out
+            # The satellite contract: accounting includes re-flood traffic.
+            assert "reflood units" in out
+            assert cli_main(["fig14", "--scale", "0.05"]) == 0
+            assert "recall" in capsys.readouterr().out
+        finally:
+            figures.clear_cache()
+
 
 class TestFigureHarness:
-    def test_all_nine_figures_registered(self):
+    def test_all_figures_registered(self):
         assert sorted(figures.ALL_FIGURES, key=int) == [
-            "4", "5", "6", "7", "8", "9", "10", "11", "12",
+            "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14",
         ]
+        # The churn family is gated behind --churn for bulk targets.
+        assert set(figures.CHURN_FIGURES) == {"13", "14"}
 
     def test_figure_result_render(self):
         result = figures.FigureResult(

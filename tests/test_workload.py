@@ -9,15 +9,22 @@ import numpy as np
 import pytest
 
 from repro.model.attributes import AMBIENT_TEMPERATURE, RELATIVE_HUMIDITY
-from repro.network.topology import small_scale
+from repro.network.topology import build_deployment, small_scale
 from repro.workload import (
     ALL_SCENARIOS,
+    CHURN,
+    ChurnConfig,
+    DynamicReplayConfig,
     ReplayConfig,
     SMALL,
     SubscriptionWorkloadConfig,
+    build_churn_schedule,
+    build_dynamic_replay,
     build_replay,
+    bursty_round_times,
     generate_subscriptions,
     synthesize_stream,
+    synthesize_stream_at,
 )
 from repro.workload.scenarios import default_scale
 from repro.workload.streams import profile_for, station_offset
@@ -96,6 +103,174 @@ class TestReplay:
     def test_invalid_jitter_rejected(self):
         with pytest.raises(ValueError):
             ReplayConfig(rounds=5, round_period=10.0, jitter=6.0)
+
+    def test_events_of_sensor_tolerates_absent_sensor(self):
+        """Churn makes sensor absence a normal outcome: asking a replay
+        about an unknown (or fully departed) sensor returns empty, never
+        raises."""
+        replay = build_replay(small_scale(seed=1), ReplayConfig(rounds=2))
+        assert replay.events_of_sensor("no-such-sensor") == []
+        assert "no-such-sensor" not in replay.sensor_ids
+        known = replay.sensor_ids[0]
+        assert len(replay.events_of_sensor(known)) == 2
+
+
+class TestDynamicStreams:
+    def test_bursty_round_times_monotone_and_bursty(self):
+        rng = np.random.default_rng(3)
+        times = bursty_round_times(
+            400, 10.0, rng, day_seconds=4000.0, rate_amplitude=0.5
+        )
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert (gaps > 0).all()
+        # Heavy-tailed pacing: the largest gap dwarfs the median one.
+        assert gaps.max() > 3 * np.median(gaps)
+
+    def test_bursty_round_times_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bursty_round_times(0, 10.0, rng)
+        with pytest.raises(ValueError):
+            bursty_round_times(5, 10.0, rng, rate_amplitude=1.5)
+        with pytest.raises(ValueError):
+            bursty_round_times(5, 10.0, rng, burst_shape=1.0)
+
+    def test_drift_moves_the_mean_across_days(self):
+        times = np.linspace(0.0, 4 * 100.0, 400)  # four 100s "days"
+        rng = np.random.default_rng(5)
+        drifted = synthesize_stream_at(
+            AMBIENT_TEMPERATURE, times, rng, day_seconds=100.0, drift_per_day=3.0
+        )
+        rng = np.random.default_rng(5)
+        flat = synthesize_stream_at(
+            AMBIENT_TEMPERATURE, times, rng, day_seconds=100.0, drift_per_day=0.0
+        )
+        # Same noise draw, so the difference is the deterministic drift.
+        last_day = slice(300, 400)
+        sigma = profile_for(AMBIENT_TEMPERATURE).noise_sigma
+        assert (drifted[last_day] - flat[last_day]).mean() > 2.5 * sigma
+
+    def test_values_within_domain(self):
+        times = np.linspace(0.0, 200.0, 100)
+        values = synthesize_stream_at(
+            RELATIVE_HUMIDITY, times, np.random.default_rng(1), drift_per_day=5.0
+        )
+        assert values.min() >= RELATIVE_HUMIDITY.domain.lo
+        assert values.max() <= RELATIVE_HUMIDITY.domain.hi
+
+
+class TestChurnSchedule:
+    def test_requested_fraction_cycles(self):
+        dep = small_scale(seed=2)
+        schedule = build_churn_schedule(
+            dep, span=400.0, config=ChurnConfig(cycle_fraction=0.25)
+        )
+        assert len(schedule.cycling_sensors) == round(0.25 * len(dep.sensors))
+        for spans in schedule.intervals.values():
+            # Present at setup, back for good at the end, ordered spans.
+            assert spans[0][0] == float("-inf")
+            assert spans[-1][1] == float("inf")
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert s1 < e1 < s2
+
+    def test_alive_interval_queries(self):
+        dep = small_scale(seed=2)
+        schedule = build_churn_schedule(
+            dep, span=400.0, config=ChurnConfig(cycle_fraction=0.2)
+        )
+        sensor = schedule.cycling_sensors[0]
+        (_, leave), (rejoin, _) = schedule.intervals[sensor][:2]
+        assert schedule.alive_at(sensor, leave - 1e-6)
+        assert not schedule.alive_at(sensor, leave)
+        assert schedule.alive_at(sensor, rejoin)
+        assert not schedule.same_interval(sensor, leave - 1.0, rejoin + 1.0)
+        assert schedule.same_interval(sensor, leave - 2.0, leave - 1.0)
+        # Non-cycling sensors are alive forever.
+        assert schedule.alive_at("anything-else", 1e9)
+
+    def test_transitions_alternate_and_shift(self):
+        dep = small_scale(seed=2)
+        schedule = build_churn_schedule(
+            dep, span=400.0, config=ChurnConfig(cycle_fraction=0.2, cycles=2)
+        )
+        transitions = schedule.transitions()
+        assert transitions == sorted(transitions)
+        per_sensor: dict[str, list[str]] = {}
+        for _t, sensor_id, kind in transitions:
+            per_sensor.setdefault(sensor_id, []).append(kind)
+        for kinds in per_sensor.values():
+            assert kinds == ["leave", "join", "leave", "join"]
+        moved = schedule.shifted(1000.0)
+        assert [
+            (t + 1000.0, s, k) for t, s, k in transitions
+        ] == moved.transitions()
+
+    def test_zero_fraction_is_empty(self):
+        dep = small_scale(seed=2)
+        schedule = build_churn_schedule(
+            dep, span=400.0, config=ChurnConfig(cycle_fraction=0.0)
+        )
+        assert not schedule
+        assert schedule.transitions() == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(cycle_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(cycles=0)
+        with pytest.raises(ValueError):
+            ChurnConfig(min_off_fraction=0.3, max_off_fraction=0.2)
+        with pytest.raises(ValueError):
+            ChurnConfig(start_margin=0.5, end_margin=0.5)
+
+
+class TestDynamicReplay:
+    def _arena(self, seed=3):
+        dep = build_deployment(24, 3, seed=seed)
+        return dep, build_dynamic_replay(
+            dep,
+            DynamicReplayConfig(days=2, rounds_per_day=8, day_seconds=120.0),
+            ChurnConfig(cycle_fraction=0.3),
+        )
+
+    def test_spans_multiple_days(self):
+        _, replay = self._arena()
+        assert replay.span > 2 * 120.0 * 0.5  # bursty clock, ~2 days
+        assert len(replay.round_times) == 16
+
+    def test_events_only_while_alive(self):
+        _, replay = self._arena()
+        assert replay.churn.cycling_sensors
+        suppressed = 0
+        for event in replay.events:
+            assert replay.churn.alive_at(event.sensor_id, event.timestamp)
+        for sensor_id in replay.churn.cycling_sensors:
+            suppressed += 16 - len(replay.events_of_sensor(sensor_id))
+        assert suppressed > 0  # churn genuinely removed publications
+
+    def test_statistics_cover_every_sensor(self):
+        """Medians/spreads come from the full synthesized series, so
+        even a sensor that published nothing has subscription stats."""
+        dep, replay = self._arena()
+        for placement in dep.sensors:
+            assert placement.sensor_id in replay.medians
+            assert replay.spreads[placement.sensor_id] > 0
+
+    def test_deterministic(self):
+        _, a = self._arena()
+        _, b = self._arena()
+        assert [(e.key, e.value, e.timestamp) for e in a.events] == [
+            (e.key, e.value, e.timestamp) for e in b.events
+        ]
+        assert a.churn.intervals == b.churn.intervals
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DynamicReplayConfig(days=0)
+        with pytest.raises(ValueError):
+            DynamicReplayConfig(rate_amplitude=1.0)
+        with pytest.raises(ValueError):
+            DynamicReplayConfig(jitter=-1.0)
 
 
 class TestReplayHashseedStability:
@@ -218,13 +393,19 @@ class TestSubscriptionGenerator:
 
 
 class TestScenarios:
-    def test_four_scenarios_registered(self):
+    def test_five_scenarios_registered(self):
         assert set(ALL_SCENARIOS) == {
             "small",
             "medium",
             "large_network",
             "large_sources",
+            "churn",
         }
+        churn = ALL_SCENARIOS["churn"]
+        # The acceptance floor of the dynamic family: at least two
+        # simulated days and at least 20% of the sensors cycling.
+        assert churn.dynamic is not None and churn.dynamic.days >= 2
+        assert churn.churn is not None and churn.churn.cycle_fraction >= 0.2
 
     def test_counts_scale(self):
         full = SMALL.subscription_counts(scale=1.0)
