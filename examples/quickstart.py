@@ -1,70 +1,62 @@
 #!/usr/bin/env python
-"""Quickstart: a Filter-Split-Forward network in ~40 lines.
+"""Quickstart: a live query session in ~30 lines.
 
-Builds a small grouped deployment, registers one multi-sensor
-subscription, publishes a round of correlated readings and shows the
-complex event arriving at the user — plus the traffic the network spent
-doing it.
+Creates a Filter-Split-Forward session on a small deployment, submits
+one correlated query through the fluent builder, pushes a round of
+readings and reads the structured matches off the query handle — plus
+the traffic the network spent doing it, and the cancel() that retires
+the query again.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import IdentifiedSubscription, SimpleEvent, quick_network
+from repro import Query, Session
 
 # A 24-node overlay: 3 base-station groups x 5 sensors + 9 relays.
-# Sensors are already attached and advertised.
-network, deployment = quick_network(n_nodes=24, n_groups=3, seed=11)
+# Sensors are attached and advertised; the session owns the clock.
+session = Session.create(approach="fsf", nodes=24, groups=3, seed=11)
 
 # Pick group 0's ambient- and surface-temperature sensors and subscribe
 # to the correlated condition "ambient in [-5, 5] AND surface in [-10, 10]
 # within delta_t = 5s", from a user on relay r2.
-group = deployment.sensors_of_group(0)
+group = session.deployment.sensors_of_group(0)
 ambient = next(s for s in group if s.attribute.name == "ambient_temperature")
 surface = next(s for s in group if s.attribute.name == "surface_temperature")
 
-subscription = IdentifiedSubscription.from_ranges(
-    "freeze-watch",
-    {
-        ambient.sensor_id: ("ambient_temperature", -5.0, 5.0),
-        surface.sensor_id: ("surface_temperature", -10.0, 10.0),
-    },
-    delta_t=5.0,
+handle = session.submit(
+    Query()
+    .named("freeze-watch")
+    .where(ambient.sensor_id, -5.0, 5.0)
+    .where(surface.sensor_id, -10.0, 10.0)
+    .within(5.0),
+    at="r2",
 )
-network.inject_subscription("r2", subscription)
-network.run_to_quiescence()
-print(f"subscription placed; operator units forwarded: "
-      f"{network.meter.subscription_units}")
+print(f"query placed; operator units forwarded: "
+      f"{handle.stats().registration_units}")
 
-# One publication round: both sensors report within the correlation
-# window (timestamps 100.0 and 101.5, well inside delta_t).
-t0 = network.sim.now + 100.0
-for placement, value, offset in ((ambient, 1.5, 0.0), (surface, -3.0, 1.5)):
-    event = SimpleEvent(
-        placement.sensor_id,
-        placement.attribute.name,
-        placement.location,
-        value,
-        timestamp=t0 + offset,
-        seq=0,
-    )
-    network.sim.at(event.timestamp, lambda e=event, p=placement: network.publish(p.node_id, e))
-network.run_to_quiescence()
+# One publication round, pushed straight into the session: both sensors
+# report within the correlation window (1.5s apart, well inside delta_t).
+t0 = session.now + 100.0
+session.ingest(ambient.sensor_id, 1.5, timestamp=t0)
+session.ingest(surface.sensor_id, -3.0, timestamp=t0 + 1.5)
+session.drain()
 
-delivered = network.delivery.delivered("freeze-watch")
-print(f"user received {len(delivered)} simple events "
-      f"({network.delivery.complex_deliveries['freeze-watch']} complex deliveries):")
-for key, event in sorted(delivered.items()):
-    print(f"  {event}")
-print(f"event units on the wire: {network.meter.event_units}")
+for match in handle.matches():
+    print(f"user received a complex event at t={match.timestamp:g}:")
+    for event in match.events:
+        print(f"  {event}")
+print(f"event units on the wire: {session.traffic.event_units}")
 
 # A reading outside the subscribed range is filtered at the source: it
 # never crosses a link.
-before = network.meter.event_units
-cold = SimpleEvent(
-    ambient.sensor_id, "ambient_temperature", ambient.location, -25.0,
-    timestamp=network.sim.now + 50.0, seq=1,
-)
-network.sim.at(cold.timestamp, lambda: network.publish(ambient.node_id, cold))
-network.run_to_quiescence()
-print(f"non-matching reading cost {network.meter.event_units - before} units "
+before = session.traffic.event_units
+session.ingest(ambient.sensor_id, -25.0, timestamp=session.now + 50.0)
+session.drain()
+print(f"non-matching reading cost {session.traffic.event_units - before} units "
       "(dropped at the sensor's node)")
+
+# Retire the query: the cancellation retraces the placement paths and
+# leaves the network as if the query never existed.
+handle.cancel()
+print(f"query cancelled for {handle.stats().cancellation_units} units; "
+      f"active queries: {session.active_queries()}")

@@ -7,12 +7,18 @@ example sweeps the set filter's error probability (and the coarsening
 mitigation the paper sketches) on one workload and prints the frontier:
 subscription load and event load versus end-user recall.
 
+Each configuration runs as one live :class:`repro.api.Session`: the
+generated queries are submitted through the facade, the replayed
+campaign is pushed with ``ingest_events``, and recall comes from the
+session's own oracle — no agenda lambdas, no raw delivery dicts.
+
 Run:  python examples/recall_tradeoff.py
 """
 
+from repro.api import Session
 from repro.core.filter_split_forward import FSFConfig, filter_split_forward_approach
-from repro.experiments.runner import REPLAY_START, run_point
-from repro.metrics.oracle import compute_truth
+from repro.experiments.runner import REPLAY_START
+from repro.metrics.recall import measure_recall
 from repro.workload.scenarios import SMALL
 from repro.workload.sensorscope import build_replay
 from repro.workload.subscriptions import generate_subscriptions
@@ -24,15 +30,33 @@ replay = build_replay(deployment, SMALL.replay)
 workload = generate_subscriptions(
     deployment, replay.medians, SMALL.workload_config(N_SUBS), spreads=replay.spreads
 )
-events = replay.shifted(REPLAY_START)
-truths = compute_truth([p.subscription for p in workload], deployment, events)
 
-print(f"{N_SUBS} subscriptions on the small-scale deployment; "
-      f"{sum(t.n_instances for t in truths.values())} true instances\n")
-header = (f"{'configuration':42s} {'sub load':>9s} {'event load':>11s} "
-          f"{'recall':>7s}")
-print(header)
-print("-" * len(header))
+
+def run_config(config: FSFConfig, truths=None):
+    """One full measurement point on a fresh session.
+
+    Every configuration replays at the same fixed virtual start time
+    (``REPLAY_START`` sits far beyond any registration activity), so
+    event timestamps — and therefore the oracle ground truth, which
+    only depends on the queries and the replay — are identical across
+    configurations; the first session's ``session.truth`` is shared
+    instead of being recomputed seven times.
+    """
+    session = Session.create(
+        approach=filter_split_forward_approach(config), deployment=deployment
+    )
+    for placed in workload:
+        session.submit(placed.subscription, at=placed.node_id)
+    after_subs = session.traffic.snapshot()
+    events = replay.shifted(REPLAY_START)
+    session.ingest_events(events)
+    session.drain()
+    traffic = session.traffic.snapshot().minus(after_subs)
+    if truths is None:
+        truths = session.truth(events)
+    report = measure_recall(truths, session.delivery)
+    return after_subs.subscription_units, traffic.event_units, report, truths
+
 
 configs = [
     ("exact set filtering (no sampling error)", FSFConfig(exact_filtering=True)),
@@ -43,11 +67,21 @@ configs = [
     ("error probability 0.25 + coarsening 0.5", FSFConfig(error_probability=0.25, coarsening=0.5)),
     ("coarsening 1.0 (wider filters)", FSFConfig(coarsening=1.0)),
 ]
+
+truths = None
+rows = []
 for label, config in configs:
-    approach = filter_split_forward_approach(config)
-    result = run_point(approach, deployment, workload, events, truths=truths)
-    print(f"{label:42s} {result.subscription_load:9d} "
-          f"{result.event_load:11d} {result.recall:7.3f}")
+    sub_load, event_load, report, truths = run_config(config, truths)
+    rows.append((label, sub_load, event_load, report))
+
+print(f"{N_SUBS} subscriptions on the small-scale deployment; "
+      f"{rows[0][3].true_instances} true instances\n")
+header = (f"{'configuration':42s} {'sub load':>9s} {'event load':>11s} "
+          f"{'recall':>7s}")
+print(header)
+print("-" * len(header))
+for label, sub_load, event_load, report in rows:
+    print(f"{label:42s} {sub_load:9d} {event_load:11d} {report.recall:7.3f}")
 
 print(
     "\nLower error probabilities spend more samples and filter less "

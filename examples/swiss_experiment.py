@@ -1,82 +1,70 @@
 #!/usr/bin/env python
 """Swiss-Experiment-style environmental monitoring with *abstract*
-subscriptions.
+queries.
 
 The paper's motivating scenario: heterogeneous alpine deployments run
 by different organisations, users subscribing to *regions* rather than
 named sensors — "one or more sensors within a particular spatial
-region".  This example builds a multi-site deployment, registers an
-abstract subscription (attribute types + region + spatial correlation
-distance delta_l) and shows it being resolved against flooded
-advertisements, placed, and matched — including the delta_l rule that
-correlates only co-located readings.
+region".  This example opens a live session on a multi-site deployment,
+submits an abstract query (attribute types + region + spatial
+correlation distance delta_l) through the fluent builder and shows it
+being resolved against flooded advertisements, placed, and matched —
+including the delta_l rule that correlates only co-located readings.
 
 Run:  python examples/swiss_experiment.py
 """
 
-from repro import (
-    AbstractSubscription,
-    SimpleEvent,
-    quick_network,
-)
-from repro.model import RectRegion, Interval, bounding_rect
+from repro import Query, Session
+from repro.model import bounding_rect
 
-network, deployment = quick_network(n_nodes=30, n_groups=4, seed=3)
+session = Session.create(approach="fsf", nodes=30, groups=4, seed=3)
 
 # ---------------------------------------------------------------------------
-# An abstract subscription: "storm watch" — high wind speed together with a
+# An abstract query: "storm watch" — high wind speed together with a
 # humidity surge, anywhere inside the rectangle around station 1's site,
 # readings at most 200 m apart (delta_l) and 5 s apart (delta_t).
 # ---------------------------------------------------------------------------
-site = deployment.sensors_of_group(1)
+site = session.deployment.sensors_of_group(1)
 region = bounding_rect((s.location for s in site), margin=3.0)
 
-storm_watch = AbstractSubscription.from_ranges(
-    "storm-watch",
-    {"wind_speed": (12.0, 40.0), "relative_humidity": (85.0, 100.0)},
-    region=region,
-    delta_t=5.0,
-    delta_l=200.0,
+storm_watch = session.submit(
+    Query()
+    .named("storm-watch")
+    .where("wind_speed", 12.0, 40.0)
+    .where("relative_humidity", 85.0, 100.0)
+    .within(5.0)
+    .near(region, delta_l=200.0),
+    at="r1",
 )
-network.inject_subscription("r1", storm_watch)
-network.run_to_quiescence()
 
 wind = next(s for s in site if s.attribute.name == "wind_speed")
 humid = next(s for s in site if s.attribute.name == "relative_humidity")
-print("abstract subscription resolved against advertised sensors:")
+print("abstract query resolved against advertised sensors:")
 print(f"  wind_speed        -> {wind.sensor_id} @ {wind.location}")
 print(f"  relative_humidity -> {humid.sensor_id} @ {humid.location}")
-print(f"  operator units forwarded: {network.meter.subscription_units}")
+print(f"  operator units forwarded: {storm_watch.stats().registration_units}")
 
 # ---------------------------------------------------------------------------
 # A storm front passes the site: wind spike and humidity surge 2 s apart.
 # ---------------------------------------------------------------------------
-t0 = network.sim.now + 60.0
-readings = [
-    SimpleEvent(wind.sensor_id, "wind_speed", wind.location, 17.5, t0, 0),
-    SimpleEvent(humid.sensor_id, "relative_humidity", humid.location, 91.0, t0 + 2.0, 0),
-]
-for placement, event in zip((wind, humid), readings):
-    network.sim.at(event.timestamp, lambda e=event, p=placement: network.publish(p.node_id, e))
-network.run_to_quiescence()
+t0 = session.now + 60.0
+session.ingest(wind.sensor_id, 17.5, timestamp=t0)
+session.ingest(humid.sensor_id, 91.0, timestamp=t0 + 2.0)
+session.drain()
 
-delivered = network.delivery.delivered("storm-watch")
-print(f"\nstorm watch fired with {len(delivered)} correlated readings:")
-for _, event in sorted(delivered.items()):
-    print(f"  {event}")
+for match in storm_watch.matches():
+    print(f"\nstorm watch fired with {len(match)} correlated readings:")
+    for event in match.events:
+        print(f"  {event}")
 
 # ---------------------------------------------------------------------------
 # A matching wind spike at a *different* site does not correlate: outside
-# the subscription's region, it is dropped at its source.
+# the query's region, it is dropped at its source.
 # ---------------------------------------------------------------------------
-other = deployment.sensors_of_group(3)
+other = session.deployment.sensors_of_group(3)
 far_wind = next(s for s in other if s.attribute.name == "wind_speed")
-before = network.meter.event_units
-stray = SimpleEvent(
-    far_wind.sensor_id, "wind_speed", far_wind.location, 20.0,
-    network.sim.now + 30.0, 1,
-)
-network.sim.at(stray.timestamp, lambda: network.publish(far_wind.node_id, stray))
-network.run_to_quiescence()
+before = session.traffic.event_units
+session.ingest(far_wind.sensor_id, 20.0, timestamp=session.now + 30.0)
+session.drain()
 print(f"\nwind spike at a distant site cost "
-      f"{network.meter.event_units - before} event units (out of region)")
+      f"{session.traffic.event_units - before} event units (out of region)")

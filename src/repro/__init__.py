@@ -18,20 +18,30 @@ nodes with local knowledge only.  The package provides:
 * :mod:`repro.workload` — SensorScope-style synthetic replay and the
   Pareto subscription generator;
 * :mod:`repro.metrics` / :mod:`repro.experiments` — oracle, recall,
-  traffic metrics and the harness regenerating every table and figure.
+  traffic metrics and the harness regenerating every table and figure;
+* :mod:`repro.api` — the live query-session facade (fluent ``Query``
+  builder, push-based ``Session``, ``QueryHandle`` lifecycle handles
+  with cancellation) — the public way to use all of the above.
 
 Quickstart::
 
-    from repro import quick_network
-    net, deployment = quick_network()            # FSF on a small overlay
-    ...
+    from repro import Query, Session
+    session = Session.create(approach="fsf")     # FSF on a small overlay
+    handle = session.submit(Query().where(...).within(5.0))
+    session.ingest("s0001", 1.5)
+    session.drain()
+    handle.matches()
+    handle.cancel()
 
-See ``examples/quickstart.py`` for a complete runnable tour.
+See ``examples/quickstart.py`` for a complete runnable tour and
+``docs/API.md`` for the session API reference.
 """
 
 from __future__ import annotations
 
+from .api import ComplexMatch, Query, QueryError, QueryHandle, QueryStats, Session
 from .core import FSFConfig, FilterSplitForwardNode, filter_split_forward_approach
+from .deprecation import ReproDeprecationWarning, warn_deprecated
 from .model import (
     AbstractSubscription,
     Advertisement,
@@ -51,6 +61,7 @@ __all__ = [
     "AbstractSubscription",
     "Advertisement",
     "ComplexEvent",
+    "ComplexMatch",
     "Deployment",
     "FSFConfig",
     "FilterSplitForwardNode",
@@ -58,6 +69,12 @@ __all__ = [
     "Interval",
     "Location",
     "Network",
+    "Query",
+    "QueryError",
+    "QueryHandle",
+    "QueryStats",
+    "ReproDeprecationWarning",
+    "Session",
     "SimpleEvent",
     "SimpleFilter",
     "Simulator",
@@ -74,16 +91,16 @@ def quick_network(
     seed: int = 0,
     config: FSFConfig | None = None,
 ) -> tuple[Network, Deployment]:
-    """A ready-to-use Filter-Split-Forward network on a small deployment.
+    """Deprecated: use :meth:`repro.api.Session.create` instead.
 
-    Sensors are attached and advertised; inject subscriptions with
-    ``net.inject_subscription(node_id, subscription)`` and publish
-    readings with ``net.publish(node_id, event)``, then call
-    ``net.run_to_quiescence()``.
+    Kept as a thin shim over the session facade — returns the
+    session's network and deployment, exactly as before.
     """
-    deployment = build_deployment(n_nodes, n_groups, seed=seed)
-    network = Network(deployment, Simulator(seed=seed))
-    filter_split_forward_approach(config).populate(network)
-    network.attach_all_sensors()
-    network.run_to_quiescence()
-    return network, deployment
+    warn_deprecated("repro.quick_network", "repro.Session.create")
+    session = Session.create(
+        approach=filter_split_forward_approach(config),
+        nodes=n_nodes,
+        groups=n_groups,
+        seed=seed,
+    )
+    return session.network, session.deployment

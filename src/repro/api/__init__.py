@@ -1,0 +1,33 @@
+"""repro.api — the live query-session facade.
+
+*The* way to use the system as the service the paper describes: users
+continuously submit, observe and retire correlated-range queries over a
+live sensor network.
+
+* :class:`Query` — fluent builder compiling to identified/abstract
+  subscriptions (``.where(...).within(delta_t).near(location, delta_l)``);
+* :class:`Session` — one live run (deployment + network + simulator +
+  approach) with push-based ingestion (``session.ingest(...)``) and
+  explicit time control (``advance`` / ``run_until`` / ``drain``);
+* :class:`QueryHandle` — the subscription lifecycle handle returned by
+  ``session.submit``: structured :class:`ComplexMatch` results, per-query
+  :class:`QueryStats` traffic attribution, and ``cancel()``.
+
+See ``docs/API.md`` for the full tour and ``examples/quickstart.py``
+for a runnable one.
+"""
+
+from __future__ import annotations
+
+from .handle import ComplexMatch, QueryHandle, QueryStats
+from .query import Query, QueryError
+from .session import Session
+
+__all__ = [
+    "ComplexMatch",
+    "Query",
+    "QueryError",
+    "QueryHandle",
+    "QueryStats",
+    "Session",
+]

@@ -24,7 +24,12 @@ from ..model.subscriptions import (
     IdentifiedSubscription,
     Subscription,
 )
-from ..network.messages import AdvertisementMessage, EventMessage, OperatorMessage
+from ..network.messages import (
+    AdvertisementMessage,
+    EventMessage,
+    OperatorMessage,
+    UnsubscribeMessage,
+)
 from ..network.network import Network
 from ..network.node import LOCAL, Node
 from ..protocols.base import Approach
@@ -40,6 +45,9 @@ class CentralizedNode(Node):
     def __init__(self, node_id: str, network: "Network") -> None:
         super().__init__(node_id, network)
         self._departed_once: set[str] = set()
+        # Cancelled local subscriptions: result-set streams still in
+        # flight from the centre must not reach the departed user.
+        self._cancelled_local: set[str] = set()
 
     # ------------------------------------------------------------------
     # no advertisement flooding in the centralized scheme; churn
@@ -112,6 +120,7 @@ class CentralizedNode(Node):
         if root is None:
             self.network.dropped_subscriptions.append(subscription.sub_id)
             return
+        self._cancelled_local.discard(subscription.sub_id)
         self.local_subscriptions.append((subscription, root))
         self.network.unicast(
             self.node_id, self.network.center, OperatorMessage(root)
@@ -121,6 +130,31 @@ class CentralizedNode(Node):
         # Only the centre receives operators (via unicast).
         assert self.node_id == self.network.center
         self.store_for(LOCAL).add(operator, covered=False)
+
+    def retire_subscription(self, sub_id: str) -> None:
+        """Cancellation: tell the centre to drop the operator.
+
+        Mirrors :meth:`subscribe` — a single unicast over the shortest
+        path, charged like the operator it retires.  The subscriber also
+        starts suppressing in-flight result streams for the cancelled
+        subscription (the user is gone; late results are dropped at the
+        edge, not delivered).
+        """
+        self._cancelled_local.add(sub_id)
+        if self.node_id == self.network.center:
+            self.handle_unsubscribe(sub_id, LOCAL)
+        else:
+            self.network.unicast(
+                self.node_id, self.network.center, UnsubscribeMessage(sub_id)
+            )
+
+    def handle_unsubscribe(self, sub_id: str, origin: str) -> None:
+        # Only the centre holds operator state; no coverage, no
+        # propagation — removal is the whole teardown.
+        assert self.node_id == self.network.center
+        store = self.stores.get(LOCAL)
+        if store is not None:
+            store.remove_subscription(sub_id)
 
     # ------------------------------------------------------------------
     # event side
@@ -137,9 +171,11 @@ class CentralizedNode(Node):
         self, event: SimpleEvent, origin: str, streams: tuple[str, ...]
     ) -> None:
         if streams:
-            # A result-set delivery addressed to a local subscriber.
+            # A result-set delivery addressed to a local subscriber;
+            # streams of cancelled subscriptions are dropped at the edge.
             for sub_id in streams:
-                self.network.delivery.record_events(sub_id, [event])
+                if sub_id not in self._cancelled_local:
+                    self.network.delivery.record_events(sub_id, [event])
             return
         # A raw sensor reading arriving at the centre.
         assert self.node_id == self.network.center

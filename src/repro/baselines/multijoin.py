@@ -37,7 +37,14 @@ from ..model.advertisements import AdvertisementTable
 from ..model.events import SimpleEvent
 from ..model.operators import CorrelationOperator
 from ..network.network import Network
-from ..network.node import LOCAL, Node
+from ..network.node import (
+    LOCAL,
+    LifecycleSeq,
+    Node,
+    StoredOperator,
+    SubscriptionStore,
+    insert_by_seq,
+)
 from ..protocols.base import Approach
 from ..subsumption.pairwise import find_cover
 
@@ -47,6 +54,23 @@ JOIN = "join"
 LEAF = "leaf"
 
 
+class _DispatchRecord:
+    """One simple filter considered for dispatch toward the sensors.
+
+    ``sent=False`` marks a filter deduplicated against an earlier
+    dispatched cover; keeping the unsent candidates (with their arrival
+    rank) lets query cancellation re-dispatch them when their cover is
+    removed.
+    """
+
+    __slots__ = ("seq", "operator", "sent")
+
+    def __init__(self, seq: LifecycleSeq, operator: CorrelationOperator, sent: bool) -> None:
+        self.seq = seq
+        self.operator = operator
+        self.sent = sent
+
+
 class MultiJoinNode(Node):
     """Binary-join splitting at divergence nodes, roles on the event path."""
 
@@ -54,10 +78,10 @@ class MultiJoinNode(Node):
         super().__init__(node_id, network)
         self.roles: dict[str, str] = {}
         self._ring_cache: dict[str, list[CorrelationOperator]] = {}
-        # Simple filters already dispatched toward the sensors, per
+        # Simple filters considered for dispatch toward the sensors, per
         # origin — used to pair-wise deduplicate the per-binary-join
         # filter dispatch (same-signature streams are shared).
-        self._dispatched_filters: dict[str, list[CorrelationOperator]] = {}
+        self._dispatched_filters: dict[str, list[_DispatchRecord]] = {}
 
     # ------------------------------------------------------------------
     # subscription side
@@ -67,17 +91,34 @@ class MultiJoinNode(Node):
         if find_cover(operator, store.same_signature_uncovered(operator)):
             store.add(operator, covered=True)
             return
+        record = store.add(operator, covered=False)
+        self._route_uncovered(record, origin, store)
+
+    def _route_uncovered(
+        self, record: StoredOperator, origin: str, store: SubscriptionStore
+    ) -> None:
+        """Place an (already stored) uncovered operator on the event path.
+
+        Runs at arrival and again when cancellation repair restores a
+        covered operator: assigns its role and forwards/splits exactly
+        as the arrival branch of the protocol would.
+        """
+        operator = record.operator
         if operator.is_simple:
-            store.add(operator, covered=False)
             self.roles[operator.op_id] = LEAF
             self._forward_split(operator, origin)
+            return
+        if operator.is_binary_join:
+            # Only reachable via repair: a binary join stored covered at
+            # its divergence node whose cover was cancelled.
+            self.roles[operator.op_id] = JOIN
+            self._dispatch_filters(operator, origin)
             return
         directions = self.ads.partition_by_origin(operator.sensors)
         if origin != LOCAL:
             directions.pop(origin, None)
         if len(directions) == 1 and LOCAL not in directions:
             # Single onward path: keep the multi-join whole.
-            store.add(operator, covered=False)
             self.roles[operator.op_id] = TRANSIT
             (neighbor,) = directions
             piece = operator.project_sensors(directions[neighbor])
@@ -85,13 +126,18 @@ class MultiJoinNode(Node):
                 self.send_operator(neighbor, piece)
             return
         # First divergence: split into binary joins here.
-        store.add(operator, covered=False)
         self.roles[operator.op_id] = SPLIT
         for join in operator.binary_joins():
-            if find_cover(join, store.same_signature_uncovered(join)):
-                store.add(join, covered=True)
+            seq = self._seq_source.next()
+            candidates = [
+                op
+                for op in store.uncovered_before(seq)
+                if op.signature == join.signature
+            ]
+            if find_cover(join, candidates):
+                store.add(join, covered=True, seq=seq)
                 continue
-            store.add(join, covered=False)
+            store.add(join, covered=False, seq=seq)
             self.roles[join.op_id] = JOIN
             self._dispatch_filters(join, origin)
 
@@ -100,20 +146,65 @@ class MultiJoinNode(Node):
 
         Identical or covered filters of previously processed binary
         joins (from the same origin) are shared instead of re-sent —
-        single-attribute streams are deduplicated by design.
+        single-attribute streams are deduplicated by design.  Skipped
+        filters are remembered unsent so cancellation of their cover can
+        re-dispatch them.
         """
         dispatched = self._dispatched_filters.setdefault(origin, [])
         for slot in join.slots:
             simple = join.project([slot.slot_id])
-            if find_cover(simple, dispatched):
-                continue
-            dispatched.append(simple)
-            self._forward_split(simple, origin)
+            seq = self._seq_source.next()
+            covers = [r.operator for r in dispatched if r.sent and r.seq < seq]
+            record = _DispatchRecord(seq, simple, find_cover(simple, covers) is None)
+            insert_by_seq(dispatched, record)
+            if record.sent:
+                self._forward_split(simple, origin)
 
     def _forward_split(self, operator: CorrelationOperator, origin: str) -> None:
-        exclude = () if origin == LOCAL else (origin,)
-        for neighbor, piece in self.split_targets(operator, exclude).items():
-            self.send_operator(neighbor, piece)
+        self.forward_split(operator, origin)
+
+    # ------------------------------------------------------------------
+    # query cancellation
+    # ------------------------------------------------------------------
+    def handle_unsubscribe(self, sub_id: str, origin: str) -> None:
+        dispatched = self._dispatched_filters.get(origin)
+        removed_dispatch = False
+        if dispatched:
+            kept = [
+                r for r in dispatched if r.operator.subscription_id != sub_id
+            ]
+            removed_dispatch = len(kept) != len(dispatched)
+            if removed_dispatch:
+                self._dispatched_filters[origin] = kept
+        super().handle_unsubscribe(sub_id, origin)
+        if removed_dispatch:
+            self._repair_dispatched(origin)
+
+    def on_operator_removed(self, operator: CorrelationOperator) -> None:
+        """Clear the operator's role and tear down its on-demand ring."""
+        self.roles.pop(operator.op_id, None)
+        joins = self._ring_cache.pop(operator.op_id, None)
+        if joins and self.matching is not None:
+            for join in joins:
+                self.matching.release(join)
+
+    def on_operator_uncovered(
+        self, record: StoredOperator, origin: str, store: SubscriptionStore
+    ) -> None:
+        self._route_uncovered(record, origin, store)
+
+    def _repair_dispatched(self, origin: str) -> None:
+        """Re-dispatch unsent simple filters whose cover was removed."""
+        for record in list(self._dispatched_filters.get(origin, ())):
+            if record.sent:
+                continue
+            dispatched = self._dispatched_filters[origin]
+            covers = [
+                r.operator for r in dispatched if r.sent and r.seq < record.seq
+            ]
+            if find_cover(record.operator, covers) is None:
+                record.sent = True
+                self._forward_split(record.operator, origin)
 
     # ------------------------------------------------------------------
     # event side

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..model.events import SimpleEvent
 from ..model.operators import CorrelationOperator
 from ..network.network import Network
-from ..network.node import LOCAL, Node
+from ..network.node import Node
 from ..protocols.base import Approach
 
 
@@ -21,9 +21,7 @@ class NaiveNode(Node):
 
     def handle_operator(self, operator: CorrelationOperator, origin: str) -> None:
         self.store_for(origin).add(operator, covered=False)
-        exclude = () if origin == LOCAL else (origin,)
-        for neighbor, piece in self.split_targets(operator, exclude).items():
-            self.send_operator(neighbor, piece)
+        self.forward_split(operator, origin)
 
     def handle_event(
         self, event: SimpleEvent, origin: str, streams: tuple[str, ...]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from ..model.events import SimpleEvent
 from ..model.operators import CorrelationOperator
 from ..network.network import Network
-from ..network.node import LOCAL, Node
+from ..network.node import Node
 from ..protocols.base import Approach
 from ..subsumption.pairwise import find_cover
 
@@ -39,9 +39,7 @@ class OperatorPlacementNode(Node):
             store.add(operator, covered=True)
             return
         store.add(operator, covered=False)
-        exclude = () if origin == LOCAL else (origin,)
-        for neighbor, piece in self.split_targets(operator, exclude).items():
-            self.send_operator(neighbor, piece)
+        self.forward_split(operator, origin)
 
     def handle_event(
         self, event: SimpleEvent, origin: str, streams: tuple[str, ...]

@@ -79,13 +79,21 @@ class FilterSplitForwardNode(Node):
         if self.config.coarsening > 0 and origin == LOCAL:
             operator = operator.widened(self.config.coarsening)
         store = self.store_for(origin)
-        if self._is_set_covered(operator, store):
+        if self._is_set_covered(operator, store.uncovered):
             store.add(operator, covered=True)  # Algorithm 4, line 12
             return
         store.add(operator, covered=False)  # Algorithm 4, line 9
         self._split_and_forward(operator, origin)
 
-    def _is_set_covered(self, operator: CorrelationOperator, store) -> bool:
+    def recheck_coverage(self, record, store) -> bool:
+        """Cancellation repair: re-run Algorithm 2's set check against
+        the uncovered operators that arrived before ``record`` — the
+        candidates its original check saw, minus the removed ones."""
+        return self._is_set_covered(
+            record.operator, store.uncovered_before(record.seq)
+        )
+
+    def _is_set_covered(self, operator: CorrelationOperator, stored_ops) -> bool:
         """The set-filtering check of Algorithm 2.
 
         Per Section V-B, every stream position (sensor, or attribute +
@@ -101,7 +109,7 @@ class FilterSplitForwardNode(Node):
         covers_per_slot: list[list] = []
         for slot in operator.slots:
             candidates = []
-            for stored in store.uncovered:
+            for stored in stored_ops:
                 if (
                     stored.delta_t < operator.delta_t
                     or stored.delta_l < operator.delta_l
@@ -135,9 +143,7 @@ class FilterSplitForwardNode(Node):
         originating node (``Node.subscribe``); operators arriving from a
         neighbour had their sources checked there.
         """
-        exclude = () if origin == LOCAL else (origin,)
-        for neighbor, piece in self.split_targets(operator, exclude).items():
-            self.send_operator(neighbor, piece)
+        self.forward_split(operator, origin)
 
     # ------------------------------------------------------------------
     # event side: Algorithm 5

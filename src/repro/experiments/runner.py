@@ -101,7 +101,7 @@ def run_point(
 
     # Phase 2: subscriptions, in registration order.
     for item in placed:
-        network.inject_subscription(item.node_id, item.subscription)
+        network.register_subscription(item.node_id, item.subscription)
         network.run_to_quiescence()
     after_subs = network.meter.snapshot()
 

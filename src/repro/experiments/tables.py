@@ -132,7 +132,7 @@ def run_fig3_walkthrough(
     network.attach_all_sensors()
     network.run_to_quiescence()
     for subscription in table_i_subscriptions():
-        network.inject_subscription("n6", subscription)
+        network.register_subscription("n6", subscription)
         network.run_to_quiescence()
     stored: dict[str, list[str]] = {}
     covered: dict[str, list[str]] = {}

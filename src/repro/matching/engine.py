@@ -464,6 +464,16 @@ class _StabbingIndex:
             )
             self._dirty = True
 
+    def discard(self, matcher) -> None:
+        """Remove every registration of ``matcher`` (operator teardown)."""
+        kept = [reg for reg in self._registrations if reg[4] is not matcher]
+        if len(kept) != len(self._registrations):
+            self._registrations = kept
+            self._dirty = True
+
+    def __bool__(self) -> bool:
+        return bool(self._registrations)
+
     def targets(self, attribute: str, value: float) -> tuple:
         """(timeline, matcher) pairs whose slot accepts ``value``."""
         if self._dirty:
@@ -519,6 +529,7 @@ class MatchingEngine:
         self.horizon = store.horizon
         self._matchers: dict[CorrelationOperator, OperatorMatcher] = {}
         self._ingest_index: dict[str, _StabbingIndex] = {}
+        self._refs: dict[CorrelationOperator, int] = {}
         self._adds_since_sweep = 0
         store.add_listener(self)
 
@@ -574,6 +585,49 @@ class MatchingEngine:
         else:
             for operator in operators:
                 self.matcher(operator)
+
+    # ------------------------------------------------------------------
+    # lifecycle (query cancellation)
+    # ------------------------------------------------------------------
+    def retain(self, operator: CorrelationOperator) -> OperatorMatcher:
+        """Get the operator's matcher and count a long-lived reference.
+
+        Subscription stores and local-subscription registrations retain
+        the matchers they hold; :meth:`release` drops the reference when
+        the operator is removed again (query cancellation), and the last
+        release tears the matcher down.
+        """
+        matcher = self.matcher(operator)
+        self._refs[operator] = self._refs.get(operator, 0) + 1
+        return matcher
+
+    def release(self, operator: CorrelationOperator) -> None:
+        """Drop one reference; tear the matcher down at zero.
+
+        Also serves as an unconditional discard for matchers that were
+        created without :meth:`retain` (the multi-join relays' on-demand
+        ring joins): with no recorded reference the matcher is removed
+        outright.  Releasing an unknown operator is a no-op.
+
+        Teardown removes the matcher, scrubs its timelines out of every
+        per-sensor ingest index and drops indexes that became empty —
+        the engine ends in the state it would hold had the operator
+        never been registered.
+        """
+        remaining = self._refs.get(operator, 0) - 1
+        if remaining > 0:
+            self._refs[operator] = remaining
+            return
+        self._refs.pop(operator, None)
+        matcher = self._matchers.pop(operator, None)
+        if matcher is None:
+            return
+        for sensor_id in matcher.operator.sensors:
+            index = self._ingest_index.get(sensor_id)
+            if index is not None:
+                index.discard(matcher)
+                if not index:
+                    del self._ingest_index[sensor_id]
 
     def matches_involving(
         self, operator: CorrelationOperator, event: SimpleEvent

@@ -173,6 +173,8 @@ def operator_truth(
     collect_participants: bool = True,
     method: str | None = None,
     churn=None,
+    cancelled_at: float | None = None,
+    activated_at: float | None = None,
 ) -> SubscriptionTruth:
     """Ground truth of one resolved operator over an indexed event set.
 
@@ -191,10 +193,29 @@ def operator_truth(
     sensor stayed alive through the trigger time.  Both passes apply the
     identical fence, so engine/reference equivalence is preserved under
     churn.
+
+    ``cancelled_at`` / ``activated_at`` fence the subscription's
+    *lifetime* exactly like sensor churn fences a sensor's: the query
+    exists on ``[activated_at, cancelled_at]`` (each side optional), so
+    only instances *triggered* inside that closed interval are truth —
+    the same priority-1 tie-break churn uses, where an event stamped at
+    the exact transition instant still counts.  The activation side is
+    what keeps a *resubmitted* query id from inheriting its previous
+    incarnation's truth.  Only the trigger is fenced: a freshly placed
+    query legitimately matches against earlier, still-valid events
+    already in the stores (the matcher backfill), so members may
+    predate the activation — exactly as the live network delivers.
+    Members never postdate a trigger, so the cancellation side fences
+    members and triggers alike.
     """
     method = default_oracle() if method is None else method
     truth = SubscriptionTruth(sub_id, operator)
     candidates = index.events_of(sorted(operator.sensors))
+    if cancelled_at is not None:
+        candidates = [e for e in candidates if e.timestamp <= cancelled_at]
+    triggers = candidates
+    if activated_at is not None:
+        triggers = [e for e in candidates if e.timestamp >= activated_at]
     departures: list[tuple[float, str]] = []
     if churn is not None:
         departures = [
@@ -203,13 +224,15 @@ def operator_truth(
             if sensor_id in operator.sensors
         ]
     if departures:
-        # The fence sweep below assumes monotone trigger times.
+        # The fence sweeps below assume monotone trigger times.
         candidates.sort(key=lambda e: (e.timestamp, e.key))
+        if triggers is not candidates:
+            triggers.sort(key=lambda e: (e.timestamp, e.key))
     next_departure = 0
 
     if method == "reference":
         provider = _FencedIndex(index) if departures else index
-        for event in candidates:
+        for event in triggers:
             while (
                 next_departure < len(departures)
                 and departures[next_departure][0] <= event.timestamp
@@ -238,7 +261,7 @@ def operator_truth(
     # The memo stays sound under churn: fences are applied before the
     # first probe at a timestamp, and equal timestamps see equal fences.
     participants_at: dict[float, dict | None] = {}
-    for event in candidates:
+    for event in triggers:
         while (
             next_departure < len(departures)
             and departures[next_departure][0] <= event.timestamp
@@ -269,6 +292,8 @@ def compute_truth(
     collect_participants: bool = True,
     method: str | None = None,
     churn=None,
+    cancellations: Mapping[str, float] | None = None,
+    activations: Mapping[str, float] | None = None,
 ) -> dict[str, SubscriptionTruth]:
     """Enumerate every true match instance of every subscription.
 
@@ -278,7 +303,12 @@ def compute_truth(
     truth pass (see module docstring); ``None`` defers to
     :func:`default_oracle`.  ``churn`` — the scenario's churn schedule,
     shifted to the same clock as ``events`` — fences departed sensors'
-    history (see :func:`operator_truth`).
+    history (see :func:`operator_truth`).  ``cancellations`` /
+    ``activations`` map subscription ids to the simulation times their
+    ``cancel()`` / ``submit()`` ran; the query's truth is fenced to
+    that lifetime exactly like a departed sensor's history — which also
+    keeps resubmitted ids from inheriting their previous incarnation's
+    truth.
     """
     method = default_oracle() if method is None else method
     index = EventIndex(events)
@@ -292,5 +322,15 @@ def compute_truth(
             collect_participants,
             method,
             churn=churn,
+            cancelled_at=(
+                cancellations.get(subscription.sub_id)
+                if cancellations is not None
+                else None
+            ),
+            activated_at=(
+                activations.get(subscription.sub_id)
+                if activations is not None
+                else None
+            ),
         )
     return truths

@@ -12,6 +12,13 @@ through the probabilistic set filter's false positives.
 False positives (multi-join baseline): delivered events that take part
 in no true instance of that subscription — pure extra traffic from the
 binary-join approximation.
+
+The reconstruction is the *user node's final local check* replayed over
+the delivered subset; its ``delta_l`` phase routes through the
+grid-pruned :func:`repro.matching.spatial.grid_instance_exists` (the
+same pruning the engine and the oracle already use) instead of the
+reference's all-pairs scan — identical decisions, machine-checked by
+``tests/test_spatial_final_check.py``.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..model.matching import instance_exists
+from ..matching.spatial import grid_instance_exists as instance_exists
 from ..network.delivery import DeliveryLog
 from .oracle import SubscriptionTruth
 

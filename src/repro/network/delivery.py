@@ -46,6 +46,7 @@ class DeliveryLog:
         self._events: dict[str, dict[EventKey, SimpleEvent]] = {}
         self.complex_deliveries: Counter[str] = Counter()
         self.registered: set[str] = set()
+        self._generation: Counter[str] = Counter()
 
     def register(self, sub_id: str) -> None:
         """Announce a subscription so zero-delivery cases are visible."""
@@ -59,6 +60,23 @@ class DeliveryLog:
 
     def record_complex(self, sub_id: str, count: int = 1) -> None:
         self.complex_deliveries[sub_id] += count
+
+    def reset(self, sub_id: str) -> None:
+        """Forget a subscription's delivered history (id reuse).
+
+        A subscription id resubmitted after cancellation is a new
+        incarnation: its log starts empty so the old incarnation's
+        deliveries never pollute the new one's results or recall.  The
+        id stays registered; the generation counter ticks so consumers
+        caching per-log-state results (``QueryHandle.matches``) notice.
+        """
+        self._events[sub_id] = {}
+        self.complex_deliveries.pop(sub_id, None)
+        self._generation[sub_id] += 1
+
+    def generation(self, sub_id: str) -> int:
+        """How many times this id's log was reset (cache invalidation)."""
+        return self._generation[sub_id]
 
     # ------------------------------------------------------------------
     def delivered(self, sub_id: str) -> Mapping[EventKey, SimpleEvent]:

@@ -70,6 +70,35 @@ class OperatorMessage:
 
 
 @dataclass(frozen=True, slots=True)
+class UnsubscribeMessage:
+    """A query-lifecycle retirement travelling the operator channel.
+
+    Cancellation is the inverse of Algorithm 3: the message retraces
+    exactly the links the subscription's correlation operators were
+    forwarded over (each node remembers where it sent them), removing
+    the stored operators and repairing coverage decisions on the way —
+    so the routing state left behind is the state of a network that
+    never saw the subscription.  It costs one subscription unit per
+    link, exactly like the operator flood it cancels; both sides of a
+    submit/cancel pair are part of the subscription load.
+    """
+
+    subscription_id: str
+
+    @property
+    def subscription_units(self) -> int:
+        return 1
+
+    @property
+    def event_units(self) -> int:
+        return 0
+
+    @property
+    def advertisement_units(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True, slots=True)
 class EventMessage:
     """A simple event on a link.
 
@@ -96,4 +125,4 @@ class EventMessage:
         return 0
 
 
-Message = AdvertisementMessage | OperatorMessage | EventMessage
+Message = AdvertisementMessage | OperatorMessage | EventMessage | UnsubscribeMessage

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from ..deprecation import warn_deprecated
 from ..model.events import SimpleEvent
 from ..model.subscriptions import Subscription
 from ..sim import Simulator
@@ -187,10 +188,29 @@ class Network:
         self.sim.schedule_timeline(entries, priority=1)
         return len(entries)
 
-    def inject_subscription(self, node_id: str, subscription: Subscription) -> None:
+    def register_subscription(self, node_id: str, subscription: Subscription) -> None:
         """Register a user subscription at ``node_id``."""
         self.delivery.register(subscription.sub_id)
         self.nodes[node_id].subscribe(subscription)
+
+    def inject_subscription(self, node_id: str, subscription: Subscription) -> None:
+        """Deprecated alias of :meth:`register_subscription`."""
+        warn_deprecated(
+            "Network.inject_subscription",
+            "Network.register_subscription (or repro.api.Session.submit)",
+        )
+        self.register_subscription(node_id, subscription)
+
+    def cancel_subscription(self, node_id: str, sub_id: str) -> bool:
+        """Cancel a subscription previously registered at ``node_id``.
+
+        Starts the reverse-path operator removal (see
+        :meth:`repro.network.node.Node.unsubscribe`); run the simulator
+        to quiescence to let the teardown reach every node that stored a
+        fragment.  Returns False when the subscription is not registered
+        at that node (dropped for absent sources, or already cancelled).
+        """
+        return self.nodes[node_id].unsubscribe(sub_id)
 
     def publish(self, node_id: str, event: SimpleEvent) -> None:
         """A locally attached sensor produced a reading."""

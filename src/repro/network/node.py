@@ -32,11 +32,13 @@ from ..model.subscriptions import (
     IdentifiedSubscription,
     Subscription,
 )
+from ..subsumption.pairwise import find_cover
 from .messages import (
     AdvertisementMessage,
     EventMessage,
     Message,
     OperatorMessage,
+    UnsubscribeMessage,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -49,32 +51,174 @@ _PRUNE_EVERY = 64
 """Lazy store-pruning cadence (events between sweeps)."""
 
 
+LifecycleSeq = tuple[int, ...]
+"""Arrival rank of a stored/dispatched operator record.
+
+Tuples order lexicographically: plain arrivals rank ``(major, minor)``,
+entries re-derived during cancellation repair extend the rank of the
+record they derive from (``rank + (minor,)``), so a repaired store keeps
+exactly the arrival order the counterfactual never-subscribed run would
+have produced — which is what the covered/uncovered repair relies on.
+"""
+
+
+class SeqSource:
+    """Per-node allocator of :data:`LifecycleSeq` ranks."""
+
+    __slots__ = ("_major", "_prefix", "_minor")
+
+    def __init__(self) -> None:
+        self._major = 0
+        self._prefix: LifecycleSeq = ()
+        self._minor = 0
+
+    def begin_arrival(self, prefix: LifecycleSeq | None = None) -> None:
+        """Open a new allocation context.
+
+        ``None`` starts the next top-level arrival; a prefix re-opens
+        the context *inside* an existing record's rank (cancellation
+        repair re-deriving entries at their counterfactual position).
+        """
+        if prefix is None:
+            self._major += 1
+            self._prefix = (self._major,)
+        else:
+            self._prefix = prefix
+        self._minor = 0
+
+    def next(self) -> LifecycleSeq:
+        self._minor += 1
+        return self._prefix + (self._minor,)
+
+
+def insert_by_seq(records: list, record) -> None:
+    """Place a seq-ranked record at its arrival-order position.
+
+    Plain arrivals carry monotone ranks and append; cancellation repair
+    derives entries ranked inside an existing record's prefix, which
+    must sit at their counterfactual position for the before-only
+    coverage checks to see the right candidates.  Shared by the
+    subscription stores and the multi-join dispatch ledger.
+    """
+    if records and record.seq < records[-1].seq:
+        position = len(records)
+        while position and records[position - 1].seq > record.seq:
+            position -= 1
+        records.insert(position, record)
+    else:
+        records.append(record)
+
+
+class StoredOperator:
+    """One stored operator record: rank, coverage flag, resolved matcher."""
+
+    __slots__ = ("seq", "operator", "covered", "matcher")
+
+    def __init__(
+        self,
+        seq: LifecycleSeq,
+        operator: CorrelationOperator,
+        covered: bool,
+        matcher: object,
+    ) -> None:
+        self.seq = seq
+        self.operator = operator
+        self.covered = covered
+        self.matcher = matcher
+
+
 class SubscriptionStore:
     """``S_m`` of Figure 2: operators received from one origin.
 
     When the node runs the incremental matching engine, storing an
-    operator also registers its :class:`OperatorMatcher` — from then on
+    operator also retains its :class:`OperatorMatcher` — from then on
     every ingested event is indexed as it arrives instead of being
-    rediscovered by scans.
+    rediscovered by scans; removing the operator again (query
+    cancellation) releases the matcher.
+
+    Records keep their arrival rank (:data:`LifecycleSeq`) so that
+    cancellation repair can re-evaluate coverage decisions against
+    exactly the candidates each operator would have seen had the
+    cancelled subscription never existed.
     """
 
-    def __init__(self, engine: MatchingEngine | None = None) -> None:
-        self.uncovered: list[CorrelationOperator] = []
-        self.covered: list[CorrelationOperator] = []
-        self._by_sensor: dict[str, list[tuple[CorrelationOperator, bool, object]]] = {}
+    def __init__(
+        self,
+        engine: MatchingEngine | None = None,
+        seq_source: SeqSource | None = None,
+    ) -> None:
+        self._records: list[StoredOperator] = []
+        self._by_sensor: dict[str, list[StoredOperator]] = {}
         self._engine = engine
+        self._seq_source = seq_source if seq_source is not None else SeqSource()
 
-    def add(self, operator: CorrelationOperator, covered: bool) -> None:
-        (self.covered if covered else self.uncovered).append(operator)
+    @property
+    def uncovered(self) -> list[CorrelationOperator]:
+        """Uncovered operators in arrival order (forwarding candidates)."""
+        return [r.operator for r in self._records if not r.covered]
+
+    @property
+    def covered(self) -> list[CorrelationOperator]:
+        return [r.operator for r in self._records if r.covered]
+
+    def add(
+        self,
+        operator: CorrelationOperator,
+        covered: bool,
+        seq: LifecycleSeq | None = None,
+    ) -> StoredOperator:
+        """Store an operator; ``seq`` overrides the rank (repair only)."""
         # Resolve the operator's matcher once at store time; the event
         # hot path then queries it with zero lookup layers.
         matcher = (
-            self._engine.matcher(operator) if self._engine is not None else None
+            self._engine.retain(operator) if self._engine is not None else None
         )
+        record = StoredOperator(
+            seq if seq is not None else self._seq_source.next(),
+            operator,
+            covered,
+            matcher,
+        )
+        insert_by_seq(self._records, record)
         for sensor_id in operator.sensors:
-            self._by_sensor.setdefault(sensor_id, []).append(
-                (operator, covered, matcher)
-            )
+            self._by_sensor.setdefault(sensor_id, []).append(record)
+        return record
+
+    def remove_subscription(self, sub_id: str) -> list[StoredOperator]:
+        """Drop every record of ``sub_id``; releases retained matchers."""
+        removed = [
+            r for r in self._records if r.operator.subscription_id == sub_id
+        ]
+        if not removed:
+            return []
+        self._records = [
+            r for r in self._records if r.operator.subscription_id != sub_id
+        ]
+        sensors = {sid for r in removed for sid in r.operator.sensors}
+        for sensor_id in sensors:
+            bucket = [
+                r
+                for r in self._by_sensor.get(sensor_id, ())
+                if r.operator.subscription_id != sub_id
+            ]
+            if bucket:
+                self._by_sensor[sensor_id] = bucket
+            else:
+                self._by_sensor.pop(sensor_id, None)
+        if self._engine is not None:
+            for record in removed:
+                self._engine.release(record.operator)
+        return removed
+
+    def records(self) -> list[StoredOperator]:
+        """Every record in arrival order (cancellation repair walks it)."""
+        return list(self._records)
+
+    def uncovered_before(self, seq: LifecycleSeq) -> list[CorrelationOperator]:
+        """Uncovered operators that arrived strictly before ``seq``."""
+        return [
+            r.operator for r in self._records if not r.covered and r.seq < seq
+        ]
 
     def ops_for_sensor(
         self, sensor_id: str, include_covered: bool
@@ -85,32 +229,38 @@ class SubscriptionStore:
         this index keeps per-event work proportional to the relevant
         operators instead of the whole store.
         """
-        for operator, is_covered, _matcher in self._by_sensor.get(sensor_id, ()):
-            if include_covered or not is_covered:
-                yield operator
+        for record in self._by_sensor.get(sensor_id, ()):
+            if include_covered or not record.covered:
+                yield record.operator
 
     def matched_for_sensor(
         self, sensor_id: str, include_covered: bool
     ) -> Iterator[tuple[CorrelationOperator, object]]:
         """(operator, matcher) pairs for the incremental event path."""
-        for operator, is_covered, matcher in self._by_sensor.get(sensor_id, ()):
-            if include_covered or not is_covered:
-                yield operator, matcher
+        for record in self._by_sensor.get(sensor_id, ()):
+            if include_covered or not record.covered:
+                yield record.operator, record.matcher
 
     def same_signature_uncovered(
         self, operator: CorrelationOperator
     ) -> list[CorrelationOperator]:
         """The comparison set for subsumption checks (arrival order)."""
         return [
-            op for op in self.uncovered if op.signature == operator.signature
+            r.operator
+            for r in self._records
+            if not r.covered and r.operator.signature == operator.signature
         ]
 
     def all_operators(self) -> Iterator[CorrelationOperator]:
-        yield from self.uncovered
-        yield from self.covered
+        for record in self._records:
+            if not record.covered:
+                yield record.operator
+        for record in self._records:
+            if record.covered:
+                yield record.operator
 
     def __len__(self) -> int:
-        return len(self.uncovered) + len(self.covered)
+        return len(self._records)
 
 
 class Node:
@@ -139,6 +289,11 @@ class Node:
         )
         self._sent: dict[EventKey, set[Hashable]] = {}
         self._adds_since_prune = 0
+        self._seq_source = SeqSource()
+        # Reverse-path memory for query cancellation: the neighbours
+        # this node forwarded each subscription's operators to.  An
+        # UnsubscribeMessage retraces exactly these edges.
+        self._forwarded_subs: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------------
     # plumbing
@@ -160,7 +315,10 @@ class Node:
         if isinstance(message, EventMessage):
             self.handle_event(message.event, origin, message.streams)
         elif isinstance(message, OperatorMessage):
+            self._seq_source.begin_arrival()
             self.handle_operator(message.operator, origin)
+        elif isinstance(message, UnsubscribeMessage):
+            self.handle_unsubscribe(message.subscription_id, origin)
         elif isinstance(message, AdvertisementMessage):
             if message.retract:
                 self.handle_retraction(message.advertisement, origin)
@@ -172,7 +330,9 @@ class Node:
     def store_for(self, origin: str) -> SubscriptionStore:
         store = self.stores.get(origin)
         if store is None:
-            store = self.stores[origin] = SubscriptionStore(self.matching)
+            store = self.stores[origin] = SubscriptionStore(
+                self.matching, self._seq_source
+            )
         return store
 
     def matches_involving(
@@ -192,6 +352,9 @@ class Node:
     # sending helpers
     # ------------------------------------------------------------------
     def send_operator(self, neighbor: str, operator: CorrelationOperator) -> None:
+        self._forwarded_subs.setdefault(operator.subscription_id, set()).add(
+            neighbor
+        )
         self.network.send(self.node_id, neighbor, OperatorMessage(operator))
 
     def send_event(
@@ -263,15 +426,16 @@ class Node:
             return
         self.local_subscriptions.append((subscription, root))
         # The whole root operator drives the final local check even when
-        # handle_operator stores only fragments of it; resolve its
-        # matcher once here.
+        # handle_operator stores only fragments of it; retain its
+        # matcher once here (released again on cancellation).
         matcher = (
-            self.matching.matcher(root) if self.matching is not None else None
+            self.matching.retain(root) if self.matching is not None else None
         )
         for sensor_id in root.sensors:
             self._local_by_sensor.setdefault(sensor_id, []).append(
                 (subscription, root, matcher)
             )
+        self._seq_source.begin_arrival()
         self.handle_operator(root, LOCAL)
 
     def build_root_operator(
@@ -290,6 +454,134 @@ class Node:
             attr: [ad.sensor_id for ad in ads] for attr, ads in resolved.items()
         }
         return root_operator(subscription, self.node_id, sensors)
+
+    # ------------------------------------------------------------------
+    # query cancellation (the subscription lifecycle's retire edge)
+    # ------------------------------------------------------------------
+    def unsubscribe(self, sub_id: str) -> bool:
+        """Cancel a *local* user subscription.
+
+        Removes the local delivery registration (no further complex
+        events reach the user, effective immediately) and starts the
+        reverse-path operator removal: an :class:`UnsubscribeMessage`
+        retraces every link this subscription's operators were forwarded
+        over, deleting them and repairing coverage decisions so the
+        remaining network state is the state of a run that never saw the
+        subscription.  Returns False when the subscription is not
+        locally registered (never submitted here, dropped for absent
+        sources, or already cancelled).
+        """
+        removed = [
+            entry for entry in self.local_subscriptions if entry[0].sub_id == sub_id
+        ]
+        if not removed:
+            return False
+        self.local_subscriptions = [
+            entry for entry in self.local_subscriptions if entry[0].sub_id != sub_id
+        ]
+        for sensor_id in {sid for _, root in removed for sid in root.sensors}:
+            bucket = [
+                entry
+                for entry in self._local_by_sensor.get(sensor_id, ())
+                if entry[0].sub_id != sub_id
+            ]
+            if bucket:
+                self._local_by_sensor[sensor_id] = bucket
+            else:
+                self._local_by_sensor.pop(sensor_id, None)
+        if self.matching is not None:
+            for _, root in removed:
+                self.matching.release(root)
+        self.retire_subscription(sub_id)
+        return True
+
+    def retire_subscription(self, sub_id: str) -> None:
+        """Start the network-wide teardown (protocol hook).
+
+        The distributed approaches remove the locally stored root and
+        chase the forwarded fragments; the centralized baseline unicasts
+        the retirement to the centre instead.
+        """
+        self.handle_unsubscribe(sub_id, LOCAL)
+
+    def handle_unsubscribe(self, sub_id: str, origin: str) -> None:
+        """Reverse-path removal step at one node.
+
+        Drops every stored operator of ``sub_id`` received from
+        ``origin`` (releasing matchers), repairs the origin store's
+        coverage decisions, and forwards the retirement to every
+        neighbour this node sent the subscription's operators to.
+        Unknown subscriptions are a no-op — the message only travels
+        edges the operators actually travelled, but tolerance keeps the
+        handler safe under races with churn.
+        """
+        store = self.stores.get(origin)
+        removed = store.remove_subscription(sub_id) if store is not None else []
+        for record in removed:
+            self.on_operator_removed(record.operator)
+        if removed:
+            self.repair_coverage(store, origin)
+        for neighbor in sorted(self._forwarded_subs.pop(sub_id, ())):
+            self.network.send(self.node_id, neighbor, UnsubscribeMessage(sub_id))
+
+    def repair_coverage(self, store: SubscriptionStore, origin: str) -> None:
+        """Re-evaluate the store's covered operators after a removal.
+
+        Walks the records in arrival order; a covered operator whose
+        coverage no longer holds against the uncovered operators that
+        arrived *before* it (exactly the candidates its original
+        arrival-time check saw, minus the removed subscription) is
+        restored to uncovered and forwarded as its original arrival
+        would have forwarded it.  The walk is promote-only — with
+        arrival-ordered candidates a removal can never make an
+        uncovered operator covered — so one ordered pass converges.
+        """
+        for record in store.records():
+            if not record.covered:
+                continue
+            if self.recheck_coverage(record, store):
+                continue
+            record.covered = False
+            self._seq_source.begin_arrival(prefix=record.seq)
+            self.on_operator_uncovered(record, origin, store)
+
+    def recheck_coverage(self, record: StoredOperator, store: SubscriptionStore) -> bool:
+        """Whether ``record`` is still covered (protocol hook).
+
+        The default is the pair-wise check of the operator-placement and
+        multi-join baselines; Filter-Split-Forward overrides it with the
+        set-subsumption check.  Approaches that never mark operators
+        covered never reach this hook.
+        """
+        candidates = [
+            op
+            for op in store.uncovered_before(record.seq)
+            if op.signature == record.operator.signature
+        ]
+        return find_cover(record.operator, candidates) is not None
+
+    def forward_split(self, operator: CorrelationOperator, origin: str) -> None:
+        """Simple splitting: project on each neighbour's advertised data
+        space and send (Algorithm 3, lines 7-9) — the canonical forward
+        step shared by the simple-splitting approaches' arrival paths
+        and by cancellation repair, which must forward restored
+        operators exactly as their arrival would have."""
+        exclude = () if origin == LOCAL else (origin,)
+        for neighbor, piece in self.split_targets(operator, exclude).items():
+            self.send_operator(neighbor, piece)
+
+    def on_operator_uncovered(
+        self, record: StoredOperator, origin: str, store: SubscriptionStore
+    ) -> None:
+        """Forward a repair-restored operator (protocol hook).
+
+        Default: simple splitting along the reverse advertisement paths,
+        exactly the uncovered branch of the simple-splitting approaches.
+        """
+        self.forward_split(record.operator, origin)
+
+    def on_operator_removed(self, operator: CorrelationOperator) -> None:
+        """Per-operator teardown hook (multi-join clears roles/rings)."""
 
     # ------------------------------------------------------------------
     # protocol hooks

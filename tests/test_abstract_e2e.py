@@ -7,7 +7,7 @@ delta_l spatial correlation and split routing toward multiple stations.
 
 import pytest
 
-from repro import quick_network
+from repro import Session
 from repro.model import AbstractSubscription, SimpleEvent, bounding_rect
 from repro.model.locations import RectRegion
 from repro.model.intervals import Interval
@@ -19,6 +19,12 @@ def _sensor(deployment, group, attribute):
         for s in deployment.sensors_of_group(group)
         if s.attribute.name == attribute
     )
+
+
+def quick_network(n_nodes: int, n_groups: int, seed: int):
+    """FSF network + deployment via the session facade (non-deprecated)."""
+    session = Session.create(approach="fsf", nodes=n_nodes, groups=n_groups, seed=seed)
+    return session.network, session.deployment
 
 
 def _publish(net, placement, value, ts, seq=0):
@@ -45,7 +51,7 @@ class TestAbstractEndToEnd:
             region=region,
             delta_t=5.0,
         )
-        net.inject_subscription("r1", sub)
+        net.register_subscription("r1", sub)
         net.run_to_quiescence()
         wind = _sensor(dep, 1, "wind_speed")
         humid = _sensor(dep, 1, "relative_humidity")
@@ -63,7 +69,7 @@ class TestAbstractEndToEnd:
         sub = AbstractSubscription.from_ranges(
             "watch", {"wind_speed": (10.0, 40.0)}, region=region, delta_t=5.0
         )
-        net.inject_subscription("r1", sub)
+        net.register_subscription("r1", sub)
         net.run_to_quiescence()
         stranger = _sensor(dep, 3, "wind_speed")
         assert not region.contains(stranger.location)
@@ -87,7 +93,7 @@ class TestAbstractEndToEnd:
             delta_t=5.0,
             delta_l=5.0,
         )
-        net.inject_subscription("r1", sub)
+        net.register_subscription("r1", sub)
         net.run_to_quiescence()
         wind0 = _sensor(dep, 0, "wind_speed")
         humid1 = _sensor(dep, 1, "relative_humidity")
@@ -109,7 +115,7 @@ class TestAbstractEndToEnd:
             delta_t=5.0,
             delta_l=10.0,
         )
-        net.inject_subscription("r1", sub)
+        net.register_subscription("r1", sub)
         net.run_to_quiescence()
         t0 = net.sim.now + 20.0
         _publish(net, _sensor(dep, 1, "wind_speed"), 10.0, t0)
@@ -123,6 +129,6 @@ class TestAbstractEndToEnd:
         sub = AbstractSubscription.from_ranges(
             "ghost", {"wind_speed": (0, 10)}, region=empty_region, delta_t=5.0
         )
-        net.inject_subscription("r1", sub)
+        net.register_subscription("r1", sub)
         net.run_to_quiescence()
         assert net.dropped_subscriptions == ["ghost"]

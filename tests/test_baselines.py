@@ -27,17 +27,17 @@ def sub(sub_id, ranges, delta_t=5.0):
 class TestNaive:
     def test_no_filtering(self, line):
         net = make_network(line, naive_approach())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s1", {"a": (0, 10)}))
         net.run_to_quiescence()
         units = net.meter.subscription_units
-        net.inject_subscription("u2", sub("s2", {"a": (0, 10)}))  # identical
+        net.register_subscription("u2", sub("s2", {"a": (0, 10)}))  # identical
         net.run_to_quiescence()
         assert net.meter.subscription_units == 2 * units
 
     def test_result_sets_duplicated_per_subscription(self, line):
         net = make_network(line, naive_approach())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10)}))
-        net.inject_subscription("u2", sub("s2", {"a": (0, 20)}))
+        net.register_subscription("u2", sub("s1", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s2", {"a": (0, 20)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         net.run_to_quiescence()
@@ -49,7 +49,7 @@ class TestNaive:
 
     def test_correlation_still_enforced(self, line):
         net = make_network(line, naive_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         publish(net, "b", 5.0, ts=300.0)  # uncorrelated
@@ -63,10 +63,10 @@ class TestNaive:
 class TestOperatorPlacement:
     def test_pairwise_coverage_stops_forwarding(self, line):
         net = make_network(line, operator_placement_approach())
-        net.inject_subscription("u2", sub("wide", {"a": (0, 20)}))
+        net.register_subscription("u2", sub("wide", {"a": (0, 20)}))
         net.run_to_quiescence()
         units = net.meter.subscription_units
-        net.inject_subscription("u2", sub("narrow", {"a": (5, 10)}))
+        net.register_subscription("u2", sub("narrow", {"a": (5, 10)}))
         net.run_to_quiescence()
         assert net.meter.subscription_units == units
         assert [op.subscription_id for op in net.nodes["u2"].stores[LOCAL].covered] == [
@@ -76,18 +76,18 @@ class TestOperatorPlacement:
     def test_union_coverage_not_detected(self, line):
         """Pairwise filtering cannot use two operators jointly."""
         net = make_network(line, operator_placement_approach())
-        net.inject_subscription("u2", sub("l", {"a": (0, 6)}))
-        net.inject_subscription("u2", sub("r", {"a": (5, 10)}))
+        net.register_subscription("u2", sub("l", {"a": (0, 6)}))
+        net.register_subscription("u2", sub("r", {"a": (5, 10)}))
         net.run_to_quiescence()
         units = net.meter.subscription_units
-        net.inject_subscription("u2", sub("m", {"a": (2, 8)}))
+        net.register_subscription("u2", sub("m", {"a": (2, 8)}))
         net.run_to_quiescence()
         assert net.meter.subscription_units > units
 
     def test_covered_stream_regenerated_at_coverage_node(self, line):
         net = make_network(line, operator_placement_approach())
-        net.inject_subscription("u2", sub("wide", {"a": (0, 20)}))
-        net.inject_subscription("u2", sub("narrow", {"a": (5, 10)}))
+        net.register_subscription("u2", sub("wide", {"a": (0, 20)}))
+        net.register_subscription("u2", sub("narrow", {"a": (5, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 7.0, ts=100.0)
         net.run_to_quiescence()
@@ -99,8 +99,8 @@ class TestOperatorPlacement:
 
     def test_stream_duplication_when_both_travel(self, line):
         net = make_network(line, operator_placement_approach())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10)}))
-        net.inject_subscription("u2", sub("s2", {"a": (2, 20)}))  # not covered
+        net.register_subscription("u2", sub("s1", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s2", {"a": (2, 20)}))  # not covered
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         net.run_to_quiescence()
@@ -113,7 +113,7 @@ class TestOperatorPlacement:
 class TestMultiJoin:
     def test_roles_on_the_line(self, line):
         net = make_network(line, multijoin_approach())
-        net.inject_subscription(
+        net.register_subscription(
             "u2", sub("s", {"a": (0, 10), "b": (0, 10), "c": (0, 10)})
         )
         net.run_to_quiescence()
@@ -134,7 +134,7 @@ class TestMultiJoin:
         op_net = make_network(line_deployment(), operator_placement_approach())
         s = sub("s", {"a": (0, 10), "b": (0, 10), "c": (0, 10)})
         for net in (mj, op_net):
-            net.inject_subscription("u2", s)
+            net.register_subscription("u2", s)
             net.run_to_quiescence()
         assert (
             mj.meter.subscription_units > op_net.meter.subscription_units
@@ -149,7 +149,7 @@ class TestMultiJoin:
         all the way to the user (the paper's false-positive traffic).
         """
         net = make_network(line, multijoin_approach())
-        net.inject_subscription(
+        net.register_subscription(
             "u2", sub("s", {"a": (0, 10), "b": (0, 10), "c": (0, 10)})
         )
         net.run_to_quiescence()
@@ -167,7 +167,7 @@ class TestMultiJoin:
         """An event whose sanctioning partner cannot travel is dropped
         at the first transit re-check instead of reaching the user."""
         net = make_network(line, multijoin_approach())
-        net.inject_subscription(
+        net.register_subscription(
             "u2", sub("s", {"a": (0, 10), "b": (0, 10), "c": (0, 10)})
         )
         net.run_to_quiescence()
@@ -182,7 +182,7 @@ class TestMultiJoin:
 
     def test_true_match_fully_delivered(self, line):
         net = make_network(line, multijoin_approach())
-        net.inject_subscription(
+        net.register_subscription(
             "u2", sub("s", {"a": (0, 10), "b": (0, 10), "c": (0, 10)})
         )
         net.run_to_quiescence()
@@ -195,7 +195,7 @@ class TestMultiJoin:
 
     def test_two_attribute_join_is_exact(self, line):
         net = make_network(line, multijoin_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         publish(net, "b", 50.0, ts=101.0)  # b out of range
@@ -204,8 +204,8 @@ class TestMultiJoin:
 
     def test_shared_raw_streams_deduplicated(self, line):
         net = make_network(line, multijoin_approach())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10), "b": (0, 10)}))
-        net.inject_subscription("u2", sub("s2", {"a": (0, 12), "b": (0, 12)}))
+        net.register_subscription("u2", sub("s1", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s2", {"a": (0, 12), "b": (0, 12)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         publish(net, "b", 5.0, ts=101.0)
@@ -226,7 +226,7 @@ class TestCentralized:
     def test_subscription_unicast_to_center(self, line):
         net = make_network(line, centralized_approach())
         center = net.center
-        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10)}))
         net.run_to_quiescence()
         assert net.meter.subscription_units == net.routing.distance("u2", center)
         assert len(net.nodes[center].stores[LOCAL].uncovered) == 1
@@ -241,7 +241,7 @@ class TestCentralized:
     def test_matching_and_result_delivery(self, line):
         net = make_network(line, centralized_approach())
         center = net.center
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         base = net.meter.event_units
         publish(net, "a", 5.0, ts=100.0)
@@ -257,8 +257,8 @@ class TestCentralized:
 
     def test_per_subscription_result_sets(self, line):
         net = make_network(line, centralized_approach())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10)}))
-        net.inject_subscription("u2", sub("s2", {"a": (0, 20)}))
+        net.register_subscription("u2", sub("s1", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s2", {"a": (0, 20)}))
         net.run_to_quiescence()
         base = net.meter.event_units
         publish(net, "a", 5.0, ts=100.0)
@@ -270,13 +270,13 @@ class TestCentralized:
 
     def test_absent_source_dropped(self, line):
         net = make_network(line, centralized_approach())
-        net.inject_subscription("u2", sub("s", {"zzz": (0, 1)}))
+        net.register_subscription("u2", sub("s", {"zzz": (0, 1)}))
         net.run_to_quiescence()
         assert net.dropped_subscriptions == ["s"]
 
     def test_recall_is_perfect(self, line):
         net = make_network(line, centralized_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 1.0, ts=100.0)
         publish(net, "b", 2.0, ts=101.0)

@@ -1,0 +1,456 @@
+"""Machine-checked cancellation equivalence.
+
+``handle.cancel()`` / ``Network.cancel_subscription`` threads an
+:class:`UnsubscribeMessage` along exactly the links the subscription's
+operators travelled, removing them and repairing coverage decisions.
+This suite pins the guarantees, across all four distributed approaches
+plus the centralized baseline and both matching modes:
+
+* **settled cancellation is exact** — submit → quiesce → cancel →
+  quiesce → replay is bit-identical to never having subscribed: same
+  replay traffic, same survivor deliveries, same per-node stored
+  operators and registered matchers (100 seeded scenarios); coverage
+  flags match too except where a re-forwarded operator landed behind a
+  survivor that covers it, which the suite re-verifies as safe
+  (see :func:`assert_equivalent_stores`);
+* **any cancellation leaves zero footprint of the cancelled query** —
+  no stored operator, matcher, role, ring join, dispatched filter or
+  forwarded-path memory anywhere, and zero post-cancel deliveries,
+  even when the cancel chases the subscription flood mid-flight;
+* **mid-flood cancellation is safe** — the pairwise approaches never
+  lose a survivor's delivery relative to never-subscribed (coverage
+  falls back to covering supersets); FSF's union coverage may re-roll
+  its documented gap, which the suite tracks but does not forbid;
+* **the oracle fences cancelled queries exactly like departed
+  sensors**, identically in both truth passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from deployments import line_deployment
+from repro.core.filter_split_forward import FSFConfig
+from repro.experiments.runner import REPLAY_START
+from repro.metrics.oracle import compute_truth
+from repro.model.subscriptions import IdentifiedSubscription
+from repro.network.messages import UnsubscribeMessage
+from repro.network.network import Network
+from repro.network.topology import build_deployment
+from repro.protocols.registry import all_approaches
+from repro.sim import Simulator
+from repro.workload.sensorscope import ReplayConfig, build_replay
+from repro.workload.subscriptions import (
+    SubscriptionWorkloadConfig,
+    generate_subscriptions,
+)
+
+APPROACH_KEYS = ("fsf", "naive", "operator_placement", "multijoin", "centralized")
+
+# Exact set filtering removes the probabilistic filter's sampling noise:
+# with sampling, the rng stream itself diverges between a run that ever
+# saw the cancelled subscription and one that did not, so bit-identity
+# is only meaningful for the exact check (the safety properties below
+# run the probabilistic default too).
+EXACT_FSF = FSFConfig(exact_filtering=True)
+
+
+def arena(seed: int):
+    """One seeded scenario: tiny deployment, short replay, 8 queries."""
+    deployment = build_deployment(16, 2, seed=seed)
+    replay = build_replay(deployment, ReplayConfig(rounds=12, seed=seed * 5 + 3))
+    workload = generate_subscriptions(
+        deployment,
+        replay.medians,
+        SubscriptionWorkloadConfig(
+            n_subscriptions=8, attrs_min=2, attrs_max=4, seed=seed
+        ),
+        spreads=replay.spreads,
+    )
+    return deployment, replay, workload
+
+
+def run_arena(
+    seed,
+    approach_key,
+    matching,
+    cancel_ids,
+    register_cancelled,
+    mid_flood=False,
+    fsf_config=EXACT_FSF,
+):
+    """One live run; cancels ``cancel_ids`` (settled or mid-flood), then
+    replays the events and returns everything observable."""
+    deployment, replay, workload = arena(seed)
+    sim = Simulator(seed=deployment.seed)
+    network = Network(deployment, sim, matching=matching)
+    all_approaches(fsf_config)[approach_key].populate(network)
+    network.attach_all_sensors()
+    network.run_to_quiescence()
+    for placed in workload:
+        if placed.subscription.sub_id in cancel_ids and not register_cancelled:
+            continue
+        network.register_subscription(placed.node_id, placed.subscription)
+        if not mid_flood:
+            network.run_to_quiescence()
+    for placed in workload:
+        if placed.subscription.sub_id in cancel_ids and register_cancelled:
+            network.cancel_subscription(placed.node_id, placed.subscription.sub_id)
+            if not mid_flood:
+                network.run_to_quiescence()
+    network.run_to_quiescence()
+    before_replay = network.meter.snapshot()
+    shifted = replay.shifted(REPLAY_START)
+    node_of = {s.sensor_id: s.node_id for s in deployment.sensors}
+    sim.schedule_timeline(
+        (e.timestamp, lambda e=e: network.publish(node_of[e.sensor_id], e))
+        for e in shifted
+    )
+    network.run_to_quiescence()
+    return {
+        "network": network,
+        "replay_traffic": network.meter.snapshot().minus(before_replay),
+        "delivered": {
+            sub_id: set(network.delivery.delivered(sub_id))
+            for sub_id in network.delivery.subscriptions()
+        },
+        "complex": dict(network.delivery.complex_deliveries),
+        "dropped": sorted(network.dropped_subscriptions),
+    }
+
+
+def stored_state(network):
+    """Per-node stored operators with coverage flags.
+
+    Compared as sorted multisets: repair re-forwards a restored
+    operator's fragments *after* the unsubscribe reached the node, so a
+    downstream store can hold the identical records at a different list
+    position than the never-subscribed run — arrival order below a
+    repair is deliberately not part of the guarantee (coverage checks
+    consult the whole uncovered set, so position never changes a
+    decision's outcome, only which equivalent cover is named).
+    """
+    state = {}
+    for node_id in sorted(network.nodes):
+        node = network.nodes[node_id]
+        for origin in sorted(node.stores):
+            records = node.stores[origin].records()
+            if records:
+                state[(node_id, origin)] = sorted(
+                    ((r.operator, r.covered) for r in records),
+                    key=lambda pair: (
+                        pair[0].op_id,
+                        pair[1],
+                        tuple((s.interval.lo, s.interval.hi) for s in pair[0].slots),
+                    ),
+                )
+    return state
+
+
+def assert_equivalent_stores(run_network, base_network, context):
+    """Post-cancel stores == never-subscribed stores, modulo safe flags.
+
+    The same operators must be stored at the same (node, origin); a
+    coverage flag may differ only when a re-forwarded operator arrived
+    behind a survivor that covers it (the covering superset pulls at
+    least its events, so decisions/traffic/deliveries — asserted
+    bit-identical separately — cannot change).  Any flagged-covered
+    record must name a live same-signature cover in its own store.
+    """
+    run_state = stored_state(run_network)
+    base_state = stored_state(base_network)
+    assert set(run_state) == set(base_state), context
+    for key in run_state:
+        run_ops = [op for op, _ in run_state[key]]
+        base_ops = [op for op, _ in base_state[key]]
+        assert run_ops == base_ops, (context, key)
+        if run_state[key] == base_state[key]:
+            continue
+        node_id, origin = key
+        for (op, run_covered), (_, base_covered) in zip(
+            run_state[key], base_state[key]
+        ):
+            if run_covered == base_covered:
+                continue
+            # Whichever run holds the flag covered must justify it with
+            # the approach's own coverage check against its live store.
+            network = run_network if run_covered else base_network
+            node = network.nodes[node_id]
+            store = node.stores[origin]
+            record = next(
+                r for r in store.records() if r.operator == op and r.covered
+            )
+            assert node.recheck_coverage(record, store), (context, key, op.op_id)
+
+
+def matcher_state(network):
+    """Registered incremental matchers per node (None in reference mode)."""
+    state = {}
+    for node_id, node in network.nodes.items():
+        if node.matching is not None:
+            state[node_id] = sorted(
+                op.op_id for op in node.matching._matchers
+            )
+    return state
+
+
+def assert_no_trace(network, sub_id):
+    """The cancelled query left zero footprint anywhere in the network."""
+    for node_id, node in network.nodes.items():
+        where = f"node {node_id}"
+        for origin, store in node.stores.items():
+            assert not any(
+                r.operator.subscription_id == sub_id for r in store.records()
+            ), f"store[{origin}] at {where}"
+        assert not any(
+            sub.sub_id == sub_id for sub, _ in node.local_subscriptions
+        ), where
+        assert not any(
+            entry[0].sub_id == sub_id
+            for bucket in node._local_by_sensor.values()
+            for entry in bucket
+        ), where
+        assert sub_id not in node._forwarded_subs, where
+        if node.matching is not None:
+            assert not any(
+                op.subscription_id == sub_id for op in node.matching._matchers
+            ), where
+            assert not any(
+                op.subscription_id == sub_id for op in node.matching._refs
+            ), where
+        for attr in ("roles", "_ring_cache"):
+            mapping = getattr(node, attr, None)
+            if mapping:
+                assert not any(
+                    key.startswith(f"{sub_id}[") for key in mapping
+                ), f"{attr} at {where}"
+        dispatched = getattr(node, "_dispatched_filters", None)
+        if dispatched:
+            for records in dispatched.values():
+                assert not any(
+                    r.operator.subscription_id == sub_id for r in records
+                ), f"dispatched filters at {where}"
+
+
+# ---------------------------------------------------------------------------
+# message + unit mechanics
+# ---------------------------------------------------------------------------
+class TestUnsubscribeMessage:
+    def test_unit_accounting(self):
+        message = UnsubscribeMessage("q1")
+        assert message.subscription_units == 1
+        assert message.event_units == 0
+        assert message.advertisement_units == 0
+
+    def test_cancel_retraces_the_forward_paths(self, line):
+        """On the line topology the teardown costs exactly the placement."""
+        sim = Simulator(seed=0)
+        network = Network(line_deployment(), sim)
+        all_approaches()["fsf"].populate(network)
+        network.attach_all_sensors()
+        network.run_to_quiescence()
+        sub = IdentifiedSubscription.from_ranges(
+            "q", {"a": ("t", 0.0, 10.0), "b": ("t", 0.0, 10.0)}, delta_t=5.0
+        )
+        network.register_subscription("u2", sub)
+        network.run_to_quiescence()
+        placed = network.meter.snapshot().subscription_units
+        assert placed > 0
+        network.cancel_subscription("u2", "q")
+        network.run_to_quiescence()
+        total = network.meter.snapshot().subscription_units
+        assert total == 2 * placed  # same links, one unit each, back out
+        assert_no_trace(network, "q")
+
+    def test_cancel_unknown_subscription(self, line):
+        network = Network(line_deployment(), Simulator(seed=0))
+        all_approaches()["fsf"].populate(network)
+        network.attach_all_sensors()
+        network.run_to_quiescence()
+        assert network.cancel_subscription("u2", "ghost") is False
+
+
+# ---------------------------------------------------------------------------
+# settled cancellation == never subscribed (100 seeded scenarios)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("chunk", range(10))
+def test_settled_cancel_equals_never_subscribed(chunk):
+    """submit → cancel → replay, bit-identical to never-subscribed.
+
+    Approaches round-robin over the seeds (all five covered each chunk),
+    both matching modes every seed; compared: replay traffic, survivor
+    deliveries and complex counts, per-node stored operators + coverage
+    flags, registered matcher sets, and the cancelled queries' zero
+    deliveries + zero footprint.
+    """
+    for seed in range(chunk * 10, chunk * 10 + 10):
+        cancel_ids = {f"q{i:05d}" for i in ((seed % 3), 3 + (seed % 4), 7)}
+        approach = APPROACH_KEYS[seed % len(APPROACH_KEYS)]
+        for matching in ("incremental", "reference"):
+            run = run_arena(seed, approach, matching, cancel_ids, True)
+            base = run_arena(seed, approach, matching, cancel_ids, False)
+            context = (seed, approach, matching)
+            assert run["replay_traffic"] == base["replay_traffic"], context
+            survivors = {k for k in base["delivered"] if k not in cancel_ids}
+            for sub_id in survivors:
+                assert run["delivered"].get(sub_id, set()) == base[
+                    "delivered"
+                ].get(sub_id, set()), (context, sub_id)
+            assert {
+                k: v for k, v in run["complex"].items() if k not in cancel_ids
+            } == base["complex"], context
+            assert_equivalent_stores(run["network"], base["network"], context)
+            assert matcher_state(run["network"]) == matcher_state(
+                base["network"]
+            ), context
+            for sub_id in cancel_ids:
+                assert not run["delivered"].get(sub_id), (context, sub_id)
+                assert_no_trace(run["network"], sub_id)
+
+
+# ---------------------------------------------------------------------------
+# mid-flood cancellation is safe
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("chunk", range(5))
+def test_mid_flood_cancel_is_safe(chunk):
+    """Cancel while the operator flood is still in flight.
+
+    The unsubscribe chases the operator messages one hop behind; once
+    everything quiesces the cancelled query has zero footprint and zero
+    deliveries.  For the pairwise approaches a survivor never loses a
+    delivery relative to never-subscribed (coverage falls back to a
+    covering superset, which pulls at least the same events); FSF's
+    union coverage may re-roll its documented recall gap either way.
+    """
+    for seed in range(chunk * 10, chunk * 10 + 10):
+        cancel_ids = {f"q{i:05d}" for i in (seed % 4, 4 + seed % 4)}
+        approach = APPROACH_KEYS[seed % len(APPROACH_KEYS)]
+        run = run_arena(seed, approach, "incremental", cancel_ids, True, mid_flood=True)
+        base = run_arena(seed, approach, "incremental", cancel_ids, False)
+        reference = run_arena(seed, approach, "reference", cancel_ids, True, mid_flood=True)
+        context = (seed, approach)
+        # Both matching modes agree message-for-message even mid-flood.
+        assert run["replay_traffic"] == reference["replay_traffic"], context
+        assert run["delivered"] == reference["delivered"], context
+        for sub_id in cancel_ids:
+            assert not run["delivered"].get(sub_id), (context, sub_id)
+            assert_no_trace(run["network"], sub_id)
+        if approach != "fsf":
+            survivors = {k for k in base["delivered"] if k not in cancel_ids}
+            for sub_id in survivors:
+                lost = base["delivered"].get(sub_id, set()) - run[
+                    "delivered"
+                ].get(sub_id, set())
+                assert not lost, (context, sub_id)
+
+
+def test_probabilistic_fsf_cancel_footprint():
+    """The safety guarantees hold for the probabilistic filter too."""
+    for seed in (1, 4, 9):
+        cancel_ids = {"q00002", "q00005"}
+        run = run_arena(
+            seed, "fsf", "incremental", cancel_ids, True, fsf_config=None
+        )
+        for sub_id in cancel_ids:
+            assert not run["delivered"].get(sub_id)
+            assert_no_trace(run["network"], sub_id)
+
+
+# ---------------------------------------------------------------------------
+# post-cancel silence (property)
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    value_a=st.floats(0.0, 10.0),
+    value_b=st.floats(0.0, 10.0),
+    gap=st.floats(0.0, 4.0),
+    approach=st.sampled_from(APPROACH_KEYS),
+)
+def test_post_cancel_publications_never_deliver(value_a, value_b, gap, approach):
+    """Whatever correlates after the cancel settles, the user is gone."""
+    network = Network(line_deployment(), Simulator(seed=0))
+    all_approaches(EXACT_FSF)[approach].populate(network)
+    network.attach_all_sensors()
+    network.run_to_quiescence()
+    sub = IdentifiedSubscription.from_ranges(
+        "q", {"a": ("t", 0.0, 10.0), "b": ("t", 0.0, 10.0)}, delta_t=5.0
+    )
+    network.register_subscription("u2", sub)
+    network.run_to_quiescence()
+    network.cancel_subscription("u2", "q")
+    network.run_to_quiescence()
+    deployment = network.deployment
+    t0 = network.sim.now + 10.0
+    for sensor_id, value, offset in (("a", value_a, 0.0), ("b", value_b, gap)):
+        placement = next(
+            s for s in deployment.sensors if s.sensor_id == sensor_id
+        )
+        from repro.model import SimpleEvent
+
+        event = SimpleEvent(
+            sensor_id, "t", placement.location, value, t0 + offset, seq=0
+        )
+        network.sim.at(
+            event.timestamp,
+            lambda e=event, p=placement: network.publish(p.node_id, e),
+        )
+    network.run_to_quiescence()
+    assert not network.delivery.delivered("q")
+    assert network.delivery.complex_deliveries["q"] == 0
+
+
+# ---------------------------------------------------------------------------
+# oracle fencing
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("method", ["engine", "reference"])
+def test_oracle_fences_cancelled_subscriptions(method):
+    """Truth with a cancellation == truth over the pre-cancel events,
+    in both truth passes — exactly the departed-sensor fence contract."""
+    for seed in (0, 5, 11):
+        deployment, replay, workload = arena(seed)
+        shifted = replay.shifted(REPLAY_START)
+        subs = [p.subscription for p in workload]
+        cutoff = shifted[len(shifted) // 2].timestamp
+        cancelled = {subs[0].sub_id: cutoff, subs[3].sub_id: cutoff}
+        fenced = compute_truth(
+            subs, deployment, shifted, method=method, cancellations=cancelled
+        )
+        plain = compute_truth(subs, deployment, shifted, method=method)
+        truncated = compute_truth(
+            subs,
+            deployment,
+            [e for e in shifted if e.timestamp <= cutoff],
+            method=method,
+        )
+        for sub in subs:
+            if sub.sub_id in cancelled:
+                assert fenced[sub.sub_id].triggers == truncated[sub.sub_id].triggers
+                assert (
+                    fenced[sub.sub_id].participants
+                    == truncated[sub.sub_id].participants
+                )
+                # Fencing only removes truth.
+                assert fenced[sub.sub_id].triggers <= plain[sub.sub_id].triggers
+            else:
+                assert fenced[sub.sub_id].triggers == plain[sub.sub_id].triggers
+
+
+def test_oracle_engine_equals_reference_with_cancellations():
+    for seed in (2, 7):
+        deployment, replay, workload = arena(seed)
+        shifted = replay.shifted(REPLAY_START)
+        subs = [p.subscription for p in workload]
+        cutoff = shifted[len(shifted) // 3].timestamp
+        cancelled = {subs[1].sub_id: cutoff, subs[6].sub_id: cutoff}
+        engine = compute_truth(
+            subs, deployment, shifted, method="engine", cancellations=cancelled
+        )
+        reference = compute_truth(
+            subs, deployment, shifted, method="reference", cancellations=cancelled
+        )
+        for sub_id in engine:
+            assert engine[sub_id].triggers == reference[sub_id].triggers, sub_id
+            assert (
+                engine[sub_id].participants == reference[sub_id].participants
+            ), sub_id

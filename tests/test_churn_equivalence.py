@@ -83,7 +83,7 @@ def run_churn_network(deployment, replay, workload, matching, approach_key):
     network.attach_all_sensors()
     network.run_to_quiescence()
     for placed in workload:
-        network.inject_subscription(placed.node_id, placed.subscription)
+        network.register_subscription(placed.node_id, placed.subscription)
         network.run_to_quiescence()
     shifted = replay.shifted(REPLAY_START)
     node_of = {s.sensor_id: s.node_id for s in deployment.sensors}

@@ -23,10 +23,10 @@ def exact_fsf():
 class TestFiltering:
     def test_identical_subscription_covered(self, line):
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s1", {"a": (0, 10)}))
         net.run_to_quiescence()
         units = net.meter.subscription_units
-        net.inject_subscription("u2", sub("s2", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s2", {"a": (0, 10)}))
         net.run_to_quiescence()
         assert net.meter.subscription_units == units, "duplicate adds no traffic"
         store = net.nodes["u2"].stores[LOCAL]
@@ -35,11 +35,11 @@ class TestFiltering:
     def test_union_coverage_beyond_pairwise(self, line):
         """Two halves jointly cover — single-operator check cannot."""
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("l", {"a": (0, 6)}))
-        net.inject_subscription("u2", sub("r", {"a": (5, 10)}))
+        net.register_subscription("u2", sub("l", {"a": (0, 6)}))
+        net.register_subscription("u2", sub("r", {"a": (5, 10)}))
         net.run_to_quiescence()
         units = net.meter.subscription_units
-        net.inject_subscription("u2", sub("m", {"a": (2, 8)}))
+        net.register_subscription("u2", sub("m", {"a": (2, 8)}))
         net.run_to_quiescence()
         assert net.meter.subscription_units == units
 
@@ -47,7 +47,7 @@ class TestFiltering:
         """The Table I scenario on the line network: s3 forwards nothing."""
         net = make_network(line, exact_fsf())
         for s in table_i_subscriptions():
-            net.inject_subscription("u2", s)
+            net.register_subscription("u2", s)
             net.run_to_quiescence()
         store = net.nodes["u2"].stores[LOCAL]
         assert [op.subscription_id for op in store.covered] == ["s3"]
@@ -58,23 +58,23 @@ class TestFiltering:
 
     def test_gap_means_not_covered(self, line):
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("l", {"a": (0, 4)}))
-        net.inject_subscription("u2", sub("r", {"a": (6, 10)}))
+        net.register_subscription("u2", sub("l", {"a": (0, 4)}))
+        net.register_subscription("u2", sub("r", {"a": (6, 10)}))
         net.run_to_quiescence()
         units = net.meter.subscription_units
-        net.inject_subscription("u2", sub("m", {"a": (2, 8)}))  # gap (4,6)
+        net.register_subscription("u2", sub("m", {"a": (2, 8)}))  # gap (4,6)
         net.run_to_quiescence()
         assert net.meter.subscription_units > units
 
     def test_filtering_is_per_origin(self, line):
         """Subscriptions from different origins are not compared (S_m)."""
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s1", {"a": (0, 10)}))
         net.run_to_quiescence()
         # Same subscription from u1: at u1 the copies come from
         # different origins (u2 vs LOCAL), so both are forwarded.
         units = net.meter.subscription_units
-        net.inject_subscription("u1", sub("s2", {"a": (0, 10)}))
+        net.register_subscription("u1", sub("s2", {"a": (0, 10)}))
         net.run_to_quiescence()
         # s2 is forwarded u1->hub (different origin than s1 at u1), but
         # at hub both copies share the origin u1, so s2 is covered there
@@ -87,7 +87,7 @@ class TestFiltering:
 class TestEventPath:
     def test_correlated_pair_delivered_once_per_link(self, line):
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         publish(net, "b", 5.0, ts=101.0)
@@ -99,7 +99,7 @@ class TestEventPath:
 
     def test_uncorrelated_events_do_not_travel(self, line):
         net = make_network(line, exact_fsf(), delta_t=5.0)
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         publish(net, "b", 5.0, ts=200.0)  # outside delta_t
@@ -113,8 +113,8 @@ class TestEventPath:
     def test_shared_link_carries_event_once(self, line):
         """Two overlapping subscriptions share the event stream."""
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("s1", {"a": (0, 10)}))
-        net.inject_subscription("u2", sub("s2", {"a": (0, 20)}))
+        net.register_subscription("u2", sub("s1", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s2", {"a": (0, 20)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         net.run_to_quiescence()
@@ -124,9 +124,9 @@ class TestEventPath:
 
     def test_covered_subscription_regenerates_at_coverage_node(self, line):
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("l", {"a": (0, 6)}))
-        net.inject_subscription("u2", sub("r", {"a": (5, 10)}))
-        net.inject_subscription("u2", sub("m", {"a": (2, 8)}))  # covered
+        net.register_subscription("u2", sub("l", {"a": (0, 6)}))
+        net.register_subscription("u2", sub("r", {"a": (5, 10)}))
+        net.register_subscription("u2", sub("m", {"a": (2, 8)}))  # covered
         net.run_to_quiescence()
         publish(net, "a", 5.5, ts=100.0)
         net.run_to_quiescence()
@@ -135,7 +135,7 @@ class TestEventPath:
 
     def test_complex_delivery_counter(self, line):
         net = make_network(line, exact_fsf())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0)
         publish(net, "b", 5.0, ts=101.0)
@@ -162,7 +162,7 @@ class TestCoarsening:
                 FSFConfig(exact_filtering=True, coarsening=2.0)
             ),
         )
-        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10)}))
         net.run_to_quiescence()
         stored = net.nodes["s_a"].stores["hub"].uncovered[0]
         assert stored.slot("a").interval.lo == -2.0
@@ -175,7 +175,7 @@ class TestCoarsening:
                 FSFConfig(exact_filtering=True, coarsening=5.0)
             ),
         )
-        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 12.0, ts=100.0)  # matches widened, not original
         net.run_to_quiescence()

@@ -38,14 +38,14 @@ class TestAdvertisementFlooding:
 class TestSubscriptionPlumbing:
     def test_absent_source_dropped(self, line):
         net = make_network(line, filter_split_forward_approach())
-        net.inject_subscription("u2", sub("s", {"zzz": (0, 1)}))
+        net.register_subscription("u2", sub("s", {"zzz": (0, 1)}))
         net.run_to_quiescence()
         assert net.dropped_subscriptions == ["s"]
         assert net.meter.subscription_units == 0
 
     def test_local_subscription_stored_whole(self, line):
         net = make_network(line, filter_split_forward_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         node = net.nodes["u2"]
         assert len(node.local_subscriptions) == 1
@@ -54,7 +54,7 @@ class TestSubscriptionPlumbing:
 
     def test_split_happens_at_divergence(self, fork):
         net = make_network(fork, filter_split_forward_approach())
-        net.inject_subscription("u1", sub("s", {"a": (0, 10), "b": (0, 10)}))
+        net.register_subscription("u1", sub("s", {"a": (0, 10), "b": (0, 10)}))
         net.run_to_quiescence()
         mid = net.nodes["mid"]
         assert [op.op_id for op in mid.stores["u1"].uncovered] == ["s[a,b]"]
@@ -63,7 +63,7 @@ class TestSubscriptionPlumbing:
 
     def test_chain_sheds_slots_progressively(self, line):
         net = make_network(line, filter_split_forward_approach())
-        net.inject_subscription(
+        net.register_subscription(
             "u2", sub("s", {"a": (0, 10), "b": (0, 10), "c": (0, 10)})
         )
         net.run_to_quiescence()
@@ -82,7 +82,7 @@ class TestSubscriptionPlumbing:
 
     def test_subscription_units_count_links(self, line):
         net = make_network(line, filter_split_forward_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10)}))
         net.run_to_quiescence()
         # u2->u1->hub->s_a : three links.
         assert net.meter.subscription_units == 3
@@ -91,7 +91,7 @@ class TestSubscriptionPlumbing:
 class TestEventPlumbing:
     def test_duplicate_event_ignored(self, line):
         net = make_network(line, filter_split_forward_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0, seq=0)
         net.run_to_quiescence()
@@ -102,7 +102,7 @@ class TestEventPlumbing:
 
     def test_simple_operator_forwards_matching_only(self, line):
         net = make_network(line, filter_split_forward_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "a", 5.0, ts=100.0, seq=0)
         publish(net, "a", 50.0, ts=200.0, seq=1)
@@ -114,7 +114,7 @@ class TestEventPlumbing:
 
     def test_unrequested_sensor_never_forwarded(self, line):
         net = make_network(line, filter_split_forward_approach())
-        net.inject_subscription("u2", sub("s", {"a": (0, 10)}))
+        net.register_subscription("u2", sub("s", {"a": (0, 10)}))
         net.run_to_quiescence()
         publish(net, "c", 5.0, ts=100.0)
         net.run_to_quiescence()

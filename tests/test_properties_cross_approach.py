@@ -66,7 +66,7 @@ def event_strategy():
 def run(approach, subs, raw_events):
     net = make_network(line_deployment(), approach)
     for i, s in enumerate(subs):
-        net.inject_subscription("u2", s)
+        net.register_subscription("u2", s)
     net.run_to_quiescence()
     t0 = net.sim.now + 10.0
     events = []

@@ -1,0 +1,156 @@
+"""Grid-routed user-node final check == reference scan.
+
+The recall metric (and ``QueryHandle.matches``) replays the user node's
+final local check over delivered events; its ``delta_l`` phase now runs
+through :func:`repro.matching.spatial.grid_instance_exists` instead of
+the reference's all-pairs distance filter.  These tests machine-check
+the two decisions identical on randomized abstract workloads — windows
+dense and sparse, delta_l from "nothing correlates" to unbounded — and
+pin the metric end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Query, Session
+from repro.matching.spatial import grid_instance_exists
+from repro.metrics.oracle import EventIndex
+from repro.metrics.recall import measure_recall
+from repro.model.events import SimpleEvent
+from repro.model.intervals import Interval
+from repro.model.locations import Location, RectRegion
+from repro.model.matching import instance_exists
+from repro.model.operators import CorrelationOperator, Slot
+
+
+def random_operator(rng, n_slots, n_sensors_per_slot, delta_l):
+    slots = []
+    for i in range(n_slots):
+        sensors = frozenset(
+            f"a{i}_s{j}" for j in range(n_sensors_per_slot)
+        )
+        slots.append(Slot(f"attr{i}", f"attr{i}", Interval(0.0, 100.0), sensors))
+    return CorrelationOperator("q", "user", slots, delta_t=5.0, delta_l=delta_l)
+
+
+def random_events(rng, operator, n_events, area, t_span):
+    events = []
+    seq = 0
+    all_sensors = sorted(operator.sensors)
+    attr_of = {
+        sensor: slot.attribute
+        for slot in operator.slots
+        for sensor in slot.sensors
+    }
+    for _ in range(n_events):
+        sensor = all_sensors[int(rng.integers(len(all_sensors)))]
+        events.append(
+            SimpleEvent(
+                sensor,
+                attr_of[sensor],
+                Location(
+                    float(rng.uniform(0, area)), float(rng.uniform(0, area))
+                ),
+                float(rng.uniform(-10.0, 110.0)),  # some miss the filter
+                timestamp=float(rng.uniform(0.0, t_span)),
+                seq=seq,
+            )
+        )
+        seq += 1
+    return events
+
+
+@pytest.mark.parametrize("case", range(24))
+def test_grid_decision_equals_reference(case):
+    """Every candidate trigger decides identically under grid & scan."""
+    rng = np.random.default_rng(case * 101 + 7)
+    n_slots = int(rng.integers(2, 5))
+    delta_l = float(rng.choice([3.0, 8.0, 25.0, math.inf]))
+    operator = random_operator(rng, n_slots, int(rng.integers(1, 4)), delta_l)
+    events = random_events(
+        rng, operator, n_events=int(rng.integers(20, 120)), area=30.0, t_span=40.0
+    )
+    provider = EventIndex(events)
+    decided = 0
+    for trigger in events:
+        if operator.slot_for_event(trigger) is None:
+            continue
+        reference = instance_exists(operator, provider, trigger)
+        grid = grid_instance_exists(operator, provider, trigger)
+        assert grid == reference, (case, trigger)
+        decided += 1
+    assert decided > 0, "case produced no candidate triggers"
+
+
+def test_grid_handles_unstored_trigger():
+    """Like the reference, the trigger need not be stored itself."""
+    rng = np.random.default_rng(5)
+    operator = random_operator(rng, 2, 1, delta_l=5.0)
+    events = random_events(rng, operator, 30, area=8.0, t_span=20.0)
+    provider = EventIndex(events)
+    sensor = sorted(operator.sensors)[0]
+    attribute = operator.slots[0].attribute
+    phantom = SimpleEvent(
+        sensor, attribute, Location(4.0, 4.0), 50.0, timestamp=10.0, seq=999
+    )
+    assert grid_instance_exists(operator, provider, phantom) == instance_exists(
+        operator, provider, phantom
+    )
+
+
+def test_recall_metric_end_to_end_on_abstract_workload():
+    """measure_recall (grid-routed) equals a reference-scan recount."""
+    session = Session.create(approach="fsf", nodes=30, groups=4, seed=3)
+    region = RectRegion(Interval(-1e6, 1e6), Interval(-1e6, 1e6))
+    handles = []
+    for i, delta_l in enumerate((5.0, 60.0, math.inf)):
+        query = (
+            Query()
+            .named(f"abs{i}")
+            .where("wind_speed", 0.0, 50.0)
+            .where("relative_humidity", 0.0, 100.0)
+            .within(6.0)
+        )
+        if math.isfinite(delta_l):
+            query = query.near(region, delta_l)
+        handles.append(session.submit(query))
+    rng = np.random.default_rng(17)
+    events = []
+    t0 = session.now + 50.0
+    for p in session.deployment.sensors:
+        if p.attribute.name not in ("wind_speed", "relative_humidity"):
+            continue
+        for k in range(6):
+            events.append(
+                session.ingest(
+                    p.sensor_id,
+                    float(rng.uniform(0.0, 60.0)),
+                    timestamp=t0 + float(rng.uniform(0.0, 30.0)),
+                    seq=k,
+                )
+            )
+    session.drain()
+    truths = session.truth(events)
+    report = measure_recall(truths, session.delivery)
+
+    # Recount with the reference scan in place of the grid.
+    delivered_instances = 0
+    for sub_id, truth in truths.items():
+        delivered = session.delivery.delivered(sub_id)
+        view = session.delivery.view(sub_id)
+        for trigger_key in truth.triggers:
+            trigger = delivered.get(trigger_key)
+            if trigger is not None and instance_exists(
+                truth.operator, view, trigger
+            ):
+                delivered_instances += 1
+    assert report.delivered_instances == delivered_instances
+    assert report.true_instances == sum(t.n_instances for t in truths.values())
+    assert report.true_instances > 0
+    # The session saw real spatial filtering: the tight query delivers a
+    # strict subset of the unbounded one's instances.
+    assert truths["abs0"].n_instances <= truths["abs2"].n_instances
