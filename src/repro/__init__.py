@@ -15,8 +15,10 @@ nodes with local knowledge only.  The package provides:
   (Algorithms 1-5);
 * :mod:`repro.baselines` — centralized, naive, distributed operator
   placement and distributed multi-join comparison systems;
-* :mod:`repro.workload` — SensorScope-style synthetic replay and the
-  Pareto subscription generator;
+* :mod:`repro.workload` — SensorScope-style synthetic replay, the
+  Pareto subscription generator and declarative workload programs
+  (replay + sensor churn + Poisson query admit/retire in one picklable
+  value, executed through the session facade);
 * :mod:`repro.metrics` / :mod:`repro.experiments` — oracle, recall,
   traffic metrics and the harness regenerating every table and figure;
 * :mod:`repro.api` — the live query-session facade (fluent ``Query``
@@ -54,6 +56,11 @@ from .model import (
 )
 from .network import Deployment, Network, build_deployment
 from .sim import Simulator
+from .workload.program import (
+    QueryLifecycleConfig,
+    WorkloadProgram,
+    execute_program,
+)
 
 __version__ = "1.0.0"
 
@@ -72,13 +79,16 @@ __all__ = [
     "Query",
     "QueryError",
     "QueryHandle",
+    "QueryLifecycleConfig",
     "QueryStats",
     "ReproDeprecationWarning",
     "Session",
     "SimpleEvent",
     "SimpleFilter",
     "Simulator",
+    "WorkloadProgram",
     "build_deployment",
+    "execute_program",
     "filter_split_forward_approach",
     "quick_network",
     "__version__",

@@ -104,6 +104,10 @@ class QueryHandle:
         # count) — the generation ticks when an id reuse resets the log
         # (stats() reads it too, and must stay cheap to poll).
         self._matches_cache: tuple[tuple[int, int], list[ComplexMatch]] | None = None
+        # stats() freezes at cancellation: the accounting of a retired
+        # query must not keep accruing from result streams that were
+        # still in flight when the teardown was issued.
+        self._final_stats: QueryStats | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -183,7 +187,17 @@ class QueryHandle:
         return list(out)
 
     def stats(self) -> QueryStats:
-        """Current lifecycle accounting snapshot."""
+        """Lifecycle accounting snapshot.
+
+        Live while the query is placed; **frozen at the cancellation
+        instant** once :meth:`cancel` succeeds — result streams still
+        in flight at the teardown (or a later incarnation reusing the
+        id) never accrue to a retired query's accounting.  The
+        delivered *history* stays readable live via :meth:`events` /
+        :meth:`matches`.
+        """
+        if self._final_stats is not None:
+            return self._final_stats
         delivery = self._session.network.delivery
         return QueryStats(
             sub_id=self.sub_id,
@@ -216,6 +230,7 @@ class QueryHandle:
             self._active = False
             self._cancellation_units = units
             self.cancelled_at = self._session.cancellations[self.sub_id]
+            self._final_stats = self.stats()
         return cancelled
 
     # ------------------------------------------------------------------

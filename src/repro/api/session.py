@@ -69,7 +69,7 @@ class Session:
         approach: str | Approach = "fsf",
         nodes: int = 24,
         groups: int = 3,
-        seed: int = 0,
+        seed: int | None = None,
         matching: str = "incremental",
         latency: float = 0.05,
         delta_t: float = 5.0,
@@ -83,8 +83,10 @@ class Session:
         an :class:`Approach` instance; ``matching`` selects the node
         matcher (``"incremental"`` engine or the ``"reference"``
         oracle); ``deployment`` overrides the generated topology.
-        Sensors are attached and their advertisements flooded before
-        the session is returned.
+        ``seed`` defaults to the deployment's own seed when one is
+        passed (so a pre-built deployment reproduces the experiment
+        runner's simulator streams), else 0.  Sensors are attached and
+        their advertisements flooded before the session is returned.
         """
         from ..protocols.registry import all_approaches  # local: avoid cycle
 
@@ -98,6 +100,8 @@ class Session:
             resolved = approaches[approach]
         else:
             resolved = approach
+        if seed is None:
+            seed = deployment.seed if deployment is not None else 0
         if deployment is None:
             deployment = build_deployment(nodes, groups, seed=seed)
         network = Network(
@@ -224,7 +228,20 @@ class Session:
         registration alone; pass ``settle=False`` to flood several
         registrations concurrently (their units are then 0: concurrent
         floods cannot be told apart on the shared meter).
+
+        Re-entrancy: submitting from *inside* the event loop — a
+        delivery callback, a scheduled action, mid-``drain`` — cannot
+        settle (the simulator's ``run`` is not reentrant) and raises
+        :class:`QueryError` up front; ``settle=False`` is safe there
+        and floods the registration asynchronously.
         """
+        if settle and self.network.sim.running:
+            raise QueryError(
+                "cannot submit with settle=True from inside the event loop "
+                "(a delivery callback or mid-drain): the simulator cannot "
+                "re-enter run(); pass settle=False to flood the "
+                "registration asynchronously"
+            )
         if isinstance(query, Query):
             sub_id = query.name
             if sub_id is None:
@@ -293,8 +310,17 @@ class Session:
         With ``settle``, in-flight activity is drained first so the
         recorded ``cancellation_units`` are attributable to this
         teardown alone (pending deliveries land before the cancel takes
-        effect, which is also what the oracle fence assumes).
+        effect, which is also what the oracle fence assumes).  Like
+        :meth:`submit`, settling from inside the event loop is
+        impossible and raises :class:`QueryError`.
         """
+        if settle and self.network.sim.running:
+            raise QueryError(
+                "cannot cancel with settle=True from inside the event loop "
+                "(a delivery callback or mid-drain): the simulator cannot "
+                "re-enter run(); pass settle=False to flood the teardown "
+                "asynchronously"
+            )
         if settle:
             self.network.run_to_quiescence()
         issued_at = self.now

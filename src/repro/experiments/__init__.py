@@ -12,6 +12,7 @@ from .runner import (
     RunResult,
     SeriesResult,
     run_point,
+    run_program,
     run_series,
     shifted_churn,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "render_table_i",
     "run_fig3_walkthrough",
     "run_point",
+    "run_program",
     "run_series",
     "run_series_parallel",
     "scenario_series",

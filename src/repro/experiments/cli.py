@@ -2,10 +2,12 @@
 
 Examples::
 
+    repro-experiments --list
     repro-experiments table1
     repro-experiments table2
     repro-experiments fig3
     repro-experiments fig7 --scale 0.2
+    repro-experiments fig15 --scale smoke --workers 2
     repro-experiments all --scale nightly --workers 4
     repro-experiments fig12 --oracle reference
     repro-experiments experiments-md --output EXPERIMENTS.md
@@ -38,22 +40,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
+        nargs="?",
         choices=[
             "table1",
             "table2",
             "fig3",
-            *(f"fig{i}" for i in range(4, 15)),
+            *(f"fig{i}" for i in range(4, 17)),
             "all",
             "experiments-md",
         ],
-        help="what to regenerate (figs 13-14 are the churn family, "
-        "beyond the paper)",
+        help="what to regenerate (figs 13-14 are the churn family and "
+        "figs 15-16 the query admit/retire family, both beyond the "
+        "paper); omit with --list to browse what exists",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_catalog",
+        help="enumerate scenario families and figures with their scale "
+        "presets, then exit (no experiment runs)",
     )
     parser.add_argument(
         "--churn",
+        "--beyond",
+        dest="churn",
         action="store_true",
-        help="include the churn scenario family (figs 13-14) in the "
-        "'all' and 'experiments-md' targets; fig13/fig14 always run it",
+        help="include the beyond-paper families (churn figs 13-14, "
+        "admit/retire figs 15-16) in the 'all' and 'experiments-md' "
+        "targets; their dedicated figN targets always run",
     )
     parser.add_argument(
         "--scale",
@@ -85,6 +99,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write the result to a file instead of stdout",
     )
     args = parser.parse_args(argv)
+    if args.list_catalog:
+        print(figures.render_catalog())
+        return 0
+    if args.target is None:
+        parser.error("a target is required (or pass --list to browse)")
 
     # The knobs are environment-driven all the way down (so the figure
     # harness and worker processes see them too); the flags set them for
@@ -126,7 +145,7 @@ def _run(args: argparse.Namespace) -> int:
         out.append(render_table_2())
         out.append(run_fig3_walkthrough().render())
         for fig_id in sorted(figures.ALL_FIGURES, key=int):
-            if fig_id in figures.CHURN_FIGURES and not args.churn:
+            if fig_id in figures.BEYOND_PAPER_FIGURES and not args.churn:
                 continue
             out.append(_figure_command(fig_id, args.scale))
     text = "\n\n".join(out) + "\n"

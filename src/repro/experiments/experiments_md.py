@@ -30,6 +30,14 @@ PAPER_CLAIMS = {
     "14": "Beyond the paper — recall under churn: deterministic "
     "approaches hold 100% against the churn-aware oracle (the trigger "
     "outruns the retraction flood); FSF keeps its probabilistic margin.",
+    "15": "Beyond the paper — steady-state recall while queries keep "
+    "arriving (Poisson) and retiring (exponential holds), each fenced "
+    "to its scheduled lifetime in the oracle; admission-lag and "
+    "retirement-edge races bound the loss.",
+    "16": "Beyond the paper — the traffic bill of an ongoing query "
+    "service, split registration / teardown (UnsubscribeMessage units, "
+    "metered separately) / events / results, per approach, vs. the "
+    "admit rate.",
 }
 
 
@@ -38,8 +46,9 @@ def build_experiments_md(
 ) -> str:
     """Run everything and render the paper-vs-measured record.
 
-    ``include_churn`` appends the dynamic-workload figures (13-14);
-    off by default to keep the paper-facing record paper-shaped.
+    ``include_churn`` appends the beyond-paper figures (churn 13-14,
+    query admit/retire 15-16); off by default to keep the paper-facing
+    record paper-shaped.
     """
     eff_scale = default_scale() if scale is None else scale
     parts: list[str] = [
@@ -79,7 +88,7 @@ def build_experiments_md(
         "",
     ]
     for fig_id in sorted(figures.ALL_FIGURES, key=int):
-        if fig_id in figures.CHURN_FIGURES and not include_churn:
+        if fig_id in figures.BEYOND_PAPER_FIGURES and not include_churn:
             continue
         result = figures.ALL_FIGURES[fig_id](eff_scale)
         parts += [

@@ -1,4 +1,4 @@
-"""Per-figure reproduction harnesses (Figs 4-12).
+"""Per-figure reproduction harnesses (Figs 4-12 paper, 13-16 beyond).
 
 Each ``figure_N()`` returns a :class:`FigureResult` with the same series
 the paper plots; figure pairs that share a scenario (subscription load +
@@ -8,7 +8,7 @@ so the bench suite never recomputes a scenario.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from ..core.filter_split_forward import FSFConfig
@@ -19,11 +19,13 @@ from ..metrics.report import (
 )
 from ..protocols.registry import all_approaches, distributed_approaches
 from ..workload.scenarios import (
+    ADMIT_RETIRE,
     ALL_SCENARIOS,
     CHURN,
     LARGE_NETWORK,
     LARGE_SOURCES,
     MEDIUM,
+    SCALE_PRESETS,
     SMALL,
     Scenario,
     default_scale,
@@ -86,12 +88,16 @@ def clear_cache() -> None:
 
 @dataclass(frozen=True)
 class FigureResult:
-    """One reproduced figure: series + rendered text."""
+    """One reproduced figure: series + rendered text.
+
+    ``xs`` is the figure's x axis — subscription counts for the paper's
+    figures, admit rates (floats) for the admit/retire family.
+    """
 
     figure_id: str
     title: str
     x_label: str
-    xs: tuple[int, ...]
+    xs: tuple[float, ...]
     series: Mapping[str, tuple[float, ...]]
     notes: str = ""
 
@@ -268,6 +274,106 @@ def figure_14(scale: float | None = None) -> FigureResult:
     )
 
 
+ADMIT_RATE_AXIS = (0.02, 0.05, 0.1)
+"""The x axis of the admit/retire family: Poisson query admissions per
+unit of virtual time, swept over the ``admit_retire`` scenario."""
+
+
+def admit_retire_variant(rate: float) -> Scenario:
+    """The ``admit_retire`` scenario at one admit rate (own cache key)."""
+    if ADMIT_RETIRE.lifecycle is None:
+        raise ValueError("the admit_retire scenario lost its lifecycle config")
+    return replace(
+        ADMIT_RETIRE,
+        key=f"admit_retire@{rate:g}",
+        lifecycle=replace(ADMIT_RETIRE.lifecycle, admit_rate=rate),
+    )
+
+
+def _admit_retire_runs(scale: float | None) -> list[SeriesResult]:
+    return [
+        scenario_series(admit_retire_variant(rate), scale)
+        for rate in ADMIT_RATE_AXIS
+    ]
+
+
+def figure_15(scale: float | None = None) -> FigureResult:
+    """Steady-state recall under Poisson admit/retire — beyond the paper.
+
+    Queries keep arriving and retiring while sensors stream; each
+    query's truth is fenced to its scheduled ``[admit, retire]``
+    lifetime, so recall measures what the service could still deliver
+    *inside* those lifetimes.  Two races keep deterministic approaches
+    marginally below 100%: a trigger published while the registration
+    flood is still placing the operator (admission lag), and one
+    published just before the teardown reaches the operator's host
+    (retirement edge) — both are hops x latency slivers of the replay.
+    """
+    runs = _admit_retire_runs(scale)
+    series = {
+        key: tuple(
+            round(100 * run.results[key][-1].recall, 1) for run in runs
+        )
+        for key in runs[0].results
+    }
+    fsf_runs = [run.results["fsf"][-1] for run in runs]
+    notes = "Queries admitted (total) / retired per rate: " + ", ".join(
+        f"{rate:g}/s -> {r.n_subscriptions}/{r.retired_queries}"
+        for rate, r in zip(ADMIT_RATE_AXIS, fsf_runs)
+    )
+    return FigureResult(
+        "15",
+        "Steady-state recall (%) under Poisson query admit/retire",
+        "Query admissions per unit time",
+        tuple(ADMIT_RATE_AXIS),
+        series,
+        notes=notes,
+    )
+
+
+def figure_16(scale: float | None = None) -> FigureResult:
+    """Traffic split under Poisson admit/retire — beyond the paper.
+
+    Four lanes per approach, each vs. the admit rate: **registration**
+    (operator floods: the settled prefix plus mid-run admissions and
+    teardown-repair re-dispatches), **teardown** (``UnsubscribeMessage``
+    units — reported separately for the first time), **events**
+    (forwarded data units) and **results** (simple events delivered to
+    end users).
+    """
+    runs = _admit_retire_runs(scale)
+
+    def lanes(key: str) -> dict[str, tuple[float, ...]]:
+        points = [run.results[key][-1] for run in runs]
+        label = APPROACH_LABELS.get(key, key)
+        return {
+            f"{label} - registration": tuple(
+                float(r.subscription_load + r.admit_load) for r in points
+            ),
+            f"{label} - teardown": tuple(
+                float(r.teardown_load) for r in points
+            ),
+            f"{label} - events": tuple(float(r.event_load) for r in points),
+            f"{label} - results": tuple(
+                float(r.delivered_events) for r in points
+            ),
+        }
+
+    series: dict[str, tuple[float, ...]] = {}
+    for key in runs[0].results:
+        series.update(lanes(key))
+    return FigureResult(
+        "16",
+        "Traffic split (units) under Poisson query admit/retire",
+        "Query admissions per unit time",
+        tuple(ADMIT_RATE_AXIS),
+        series,
+        notes="Registration excludes teardown: both travel the "
+        "subscription channel, but retirement traffic is metered "
+        "separately (TrafficSnapshot.teardown_units).",
+    )
+
+
 ALL_FIGURES = {
     "4": figure_4,
     "5": figure_5,
@@ -280,8 +386,77 @@ ALL_FIGURES = {
     "12": figure_12,
     "13": figure_13,
     "14": figure_14,
+    "15": figure_15,
+    "16": figure_16,
 }
 
 CHURN_FIGURES = ("13", "14")
-"""The dynamic-workload family — beyond the paper, gated behind the
-CLI's ``--churn`` flag for the ``all`` / ``experiments-md`` targets."""
+"""The dynamic-workload family — beyond the paper."""
+
+ADMIT_RETIRE_FIGURES = ("15", "16")
+"""The query admit/retire family — beyond the paper."""
+
+BEYOND_PAPER_FIGURES = CHURN_FIGURES + ADMIT_RETIRE_FIGURES
+"""Figures past the paper's 4-12 set, gated behind the CLI's
+``--beyond`` (né ``--churn``) flag for the ``all`` / ``experiments-md``
+targets; their dedicated ``figN`` targets always run."""
+
+FIGURE_SCENARIOS: dict[str, str] = {
+    "4": "small",
+    "5": "small",
+    "6": "medium",
+    "7": "medium",
+    "8": "large_network",
+    "9": "large_network",
+    "10": "large_sources",
+    "11": "large_sources",
+    "12": "small+medium+large_network+large_sources",
+    "13": "churn",
+    "14": "churn",
+    "15": "admit_retire (rate sweep)",
+    "16": "admit_retire (rate sweep)",
+}
+"""Which scenario family feeds each figure — the ``--list`` catalog."""
+
+
+def render_catalog() -> str:
+    """The discoverability listing behind ``repro-experiments --list``:
+    scenario families with their per-preset measurement axes, the
+    figure register, and the scale presets."""
+    lines = ["Scenario families", "================="]
+    for key, scenario in ALL_SCENARIOS.items():
+        lines.append(f"{key}: {scenario.title}")
+        axes = ", ".join(
+            f"{name}={scenario.subscription_counts(value)}"
+            for name, value in sorted(
+                SCALE_PRESETS.items(), key=lambda kv: kv[1]
+            )
+        )
+        lines.append(f"  subscription axis per preset: {axes}")
+        extras = []
+        if scenario.dynamic is not None:
+            extras.append("dynamic replay")
+        if scenario.churn is not None:
+            extras.append("sensor churn")
+        if scenario.lifecycle is not None:
+            extras.append(
+                f"query lifecycle (admit_rate={scenario.lifecycle.admit_rate:g})"
+            )
+        if scenario.include_centralized:
+            extras.append("includes centralized")
+        if extras:
+            lines.append(f"  features: {', '.join(extras)}")
+    lines += ["", "Figures", "======="]
+    for fig_id in sorted(ALL_FIGURES, key=int):
+        beyond = " [beyond the paper]" if fig_id in BEYOND_PAPER_FIGURES else ""
+        lines.append(
+            f"fig{fig_id}: scenario {FIGURE_SCENARIOS[fig_id]}{beyond}"
+        )
+    if ADMIT_RETIRE_FIGURES:
+        lines.append(
+            f"  admit-rate axis (figs 15-16): {list(ADMIT_RATE_AXIS)}"
+        )
+    lines += ["", "Scale presets", "============="]
+    for name, value in sorted(SCALE_PRESETS.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name}: {value}")
+    return "\n".join(lines)

@@ -42,18 +42,10 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..core.filter_split_forward import FSFConfig
-from ..metrics.oracle import compute_truth
 from ..protocols.base import Approach
 from ..protocols.registry import all_approaches
 from ..workload.scenarios import Scenario, default_scale
-from ..workload.subscriptions import generate_subscriptions
-from .runner import (
-    REPLAY_START,
-    RunResult,
-    SeriesResult,
-    run_point,
-    shifted_churn,
-)
+from .runner import RunResult, SeriesResult, run_program
 
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
@@ -93,11 +85,12 @@ class PointTask:
 # worker side — per-process memos rebuild shared state once, not per point
 # ---------------------------------------------------------------------------
 _SCENARIO_STATE: dict = {}
+_COMPILED_MEMO: dict = {}
 _TRUTH_MEMO: dict = {}
 
 
 def clear_worker_caches() -> None:
-    """Drop the per-process scenario/truth memos.
+    """Drop the per-process scenario/program/truth memos.
 
     Workers die with their pool, but the in-process fallback path
     (``workers=1``) populates these in the parent, where a long-lived
@@ -105,62 +98,55 @@ def clear_worker_caches() -> None:
     and truth state forever.  ``figures.clear_cache()`` calls this too.
     """
     _SCENARIO_STATE.clear()
+    _COMPILED_MEMO.clear()
     _TRUTH_MEMO.clear()
 
 
 def _scenario_state(scenario: Scenario, scale: float):
-    """(deployment, workload, shifted events, shifted churn) for one
-    scenario + scale."""
+    """(deployment, base program, program source) for one scenario +
+    scale — the prefix-independent state every point of the scenario
+    shares (replay synthesis, subscription pool, churn *and* lifecycle
+    draws all live in the source, so lifecycle edges thread through
+    worker memos exactly like churn does)."""
     key = (scenario, scale)
     state = _SCENARIO_STATE.get(key)
     if state is None:
         deployment = scenario.deployment()
-        replay = scenario.make_replay(deployment)
         counts = scenario.subscription_counts(scale)
-        workload = generate_subscriptions(
-            deployment,
-            replay.medians,
-            scenario.workload_config(max(counts)),
-            spreads=replay.spreads,
-        )
-        state = (
-            deployment,
-            workload,
-            replay.shifted(REPLAY_START),
-            shifted_churn(replay),
-        )
+        base = scenario.program(max(counts))
+        state = (deployment, base, base.source(deployment))
         _SCENARIO_STATE[key] = state
     return state
+
+
+def _compiled_point(task: PointTask):
+    """The compiled program of one matrix point, memoised per process —
+    shared by every approach of the same (scenario, scale, n) cell."""
+    key = (task.scenario, task.scale, task.n)
+    compiled = _COMPILED_MEMO.get(key)
+    if compiled is None:
+        deployment, base, source = _scenario_state(task.scenario, task.scale)
+        compiled = base.with_prefix(task.n).compile(deployment, source)
+        _COMPILED_MEMO[key] = compiled
+    return compiled
 
 
 def run_task(task: PointTask) -> RunResult:
     """Execute one matrix point — the worker entry (module-level, so it
     pickles by reference)."""
-    deployment, workload, shifted, churn = _scenario_state(
-        task.scenario, task.scale
-    )
-    placed = workload[: task.n]
+    compiled = _compiled_point(task)
     truth_key = (task.scenario, task.scale, task.n, task.oracle)
     truths = _TRUTH_MEMO.get(truth_key)
     if truths is None:
-        truths = compute_truth(
-            [p.subscription for p in placed],
-            deployment,
-            shifted,
-            method=task.oracle,
-            churn=churn,
-        )
+        truths = compiled.truth(method=task.oracle)
         _TRUTH_MEMO[truth_key] = truths
     approach = all_approaches(task.fsf_config)[task.approach_key]
-    return run_point(
+    return run_program(
         approach,
-        deployment,
-        placed,
-        shifted,
+        compiled,
         truths=truths,
         delta_t=task.delta_t,
         latency=task.latency,
-        churn=churn,
     )
 
 

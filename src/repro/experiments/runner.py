@@ -1,23 +1,36 @@
-"""Experiment runner — reproduces the measurement protocol of Section VI.
+"""Experiment runner — the measurement protocol of Section VI, driven
+by workload programs through the Session facade.
 
 For every measurement point the paper reports ("we measure the
 performance of each approach after every new batch of 100
-subscriptions") we run a fresh network per (approach, subscription
+subscriptions") we run a fresh session per (approach, subscription
 count): the same deployment, the same subscription prefix in the same
 registration order, and the same replayed event set — so approaches are
 compared under identical conditions exactly as the paper ensures.
 
-Phases of one point:
+One point is one :class:`~repro.workload.program.CompiledProgram`
+executed by :func:`repro.workload.program.execute_program`:
 
-1. populate nodes, attach sensors, flood advertisements (skipped by the
-   centralized scheme), run to quiescence;
-2. inject the subscription prefix sequentially, running to quiescence
-   after each (deterministic registration order);  the traffic accrued
-   here is the **subscription load**;
-3. replay the event set at a fixed virtual start time, run to
-   quiescence;  the traffic accrued here is the **publication load**;
-4. compare the delivery log against the oracle for recall / false
-   positives.
+1. ``Session.create`` populates nodes, attaches sensors and floods
+   advertisements to quiescence (skipped flood for centralized);
+2. the program's *setup admissions* (the static subscription prefix)
+   register sequentially, settled after each — the traffic accrued here
+   is the **subscription load**;
+3. the replay is ingested at the program's fixed virtual start time,
+   interleaved with churn transitions and query admit/retire edges; the
+   event traffic accrued here is the **publication load**, and the
+   subscription-channel traffic splits into mid-run **admission load**
+   and **teardown load** (``UnsubscribeMessage`` units);
+4. the delivery log is compared against the oracle, whose per-query
+   truth is fenced to the program's scheduled ``[admit, retire]``
+   lifetimes.
+
+The legacy entry point ``run_point(approach, deployment, placed,
+events, ...)`` is kept: it wraps its arguments into a setup-only
+compiled program, so a settled admit-at-t=0 program reproduces the
+historical fixed-prefix results bit-identically
+(``tests/test_program_bit_identity.py`` machine-checks this across all
+five approaches and both matching modes).
 """
 
 from __future__ import annotations
@@ -25,21 +38,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..metrics.oracle import SubscriptionTruth, compute_truth
-from ..metrics.recall import RecallReport, measure_recall
+from ..metrics.oracle import SubscriptionTruth
+from ..metrics.recall import measure_recall
 from ..model.events import SimpleEvent
-from ..network.network import Network
 from ..network.topology import Deployment
 from ..protocols.base import Approach
-from ..sim import Simulator
-from ..workload.scenarios import Scenario, default_scale
+from ..workload.program import (
+    REPLAY_START,
+    Admission,
+    CompiledProgram,
+    execute_program,
+)
+from ..workload.scenarios import Scenario
 from ..workload.sensorscope import ChurnSchedule
-from ..workload.subscriptions import PlacedSubscription, generate_subscriptions
-
-REPLAY_START = 10_000.0
-"""Virtual time at which event replay begins — far beyond any
-subscription-phase activity, so the replayed timestamps (and therefore
-the oracle's ground truth) are identical for every approach."""
+from ..workload.subscriptions import PlacedSubscription
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +62,14 @@ class RunResult:
     ``reflood_load`` is every advertisement unit accrued *after* setup —
     the churn retraction floods and re-joins' re-floods.  Static
     scenarios measure 0 there.
+
+    The query-lifecycle lane: ``n_subscriptions`` counts every
+    admission (static prefix + scheduled), ``admit_load`` the mid-run
+    subscription-channel units that are *not* teardown (scheduled
+    registrations plus any teardown-repair re-dispatches), and
+    ``teardown_load`` the ``UnsubscribeMessage`` units of the
+    ``retired_queries`` retirements.  Programs without a lifecycle
+    measure 0 on all three extras.
     """
 
     approach: str
@@ -66,6 +86,62 @@ class RunResult:
     complex_deliveries: int
     sim_events: int
     reflood_load: int = 0
+    admit_load: int = 0
+    teardown_load: int = 0
+    retired_queries: int = 0
+
+
+def run_program(
+    approach: Approach,
+    compiled: CompiledProgram,
+    truths: Mapping[str, SubscriptionTruth] | None = None,
+    delta_t: float = 5.0,
+    latency: float = 0.05,
+    oracle: str | None = None,
+    matching: str = "incremental",
+) -> RunResult:
+    """Run one approach over one compiled program; see module docstring.
+
+    ``truths`` lets a series share one oracle pass across approaches
+    (the truth only depends on the program, never on the approach);
+    ``None`` computes it here via ``compiled.truth(method=oracle)``.
+    """
+    execution = execute_program(
+        compiled,
+        approach,
+        matching=matching,
+        latency=latency,
+        delta_t=delta_t,
+    )
+    if truths is None:
+        truths = compiled.truth(method=oracle)
+    network = execution.session.network
+    report = measure_recall(truths, network.delivery)
+
+    after_ads = execution.after_advertisements
+    sub_traffic = execution.after_setup.minus(after_ads)
+    event_traffic = execution.final.minus(execution.after_setup)
+    teardown = event_traffic.teardown_units
+    return RunResult(
+        approach=approach.key,
+        n_subscriptions=len(compiled.admissions),
+        subscription_load=sub_traffic.subscription_units,
+        event_load=event_traffic.event_units,
+        advertisement_load=after_ads.advertisement_units,
+        recall=report.recall,
+        false_positive_rate=report.false_positive_rate,
+        true_instances=report.true_instances,
+        delivered_instances=report.delivered_instances,
+        delivered_events=report.delivered_events,
+        dropped_subscriptions=len(network.dropped_subscriptions),
+        complex_deliveries=sum(network.delivery.complex_deliveries.values()),
+        sim_events=network.sim.processed_events,
+        reflood_load=execution.final.advertisement_units
+        - after_ads.advertisement_units,
+        admit_load=event_traffic.subscription_units - teardown,
+        teardown_load=teardown,
+        retired_queries=execution.retired,
+    )
 
 
 def run_point(
@@ -78,80 +154,48 @@ def run_point(
     latency: float = 0.05,
     oracle: str | None = None,
     churn: ChurnSchedule | None = None,
+    matching: str = "incremental",
 ) -> RunResult:
-    """Run one approach on one subscription prefix; see module docstring.
+    """Run one approach on one already-materialised subscription prefix.
+
+    The pre-program entry point, kept for callers that synthesize their
+    own workload: it wraps ``placed``/``events``/``churn`` into a
+    setup-only compiled program (every query admitted settled at t=0,
+    none retired) and runs it through the facade — the settled program
+    semantics the bit-identity harness pins to the historical wiring.
 
     ``events`` is the replay already shifted to ``REPLAY_START``
     (``replay.shifted(REPLAY_START)``): the caller computes the oracle's
     ground truth from the same list, so the scheduled events and the
     truth inputs are literally the same objects — one materialisation
     per series, not one per (approach, count) point.  ``churn`` must be
-    shifted to the same clock (``schedule.shifted(REPLAY_START)``); its
-    join/leave transitions are interleaved with the publications and
-    the oracle fences departed sensors identically.
+    shifted to the same clock (``schedule.shifted(REPLAY_START)``).
     """
-    sim = Simulator(seed=deployment.seed)
-    network = Network(deployment, sim, latency=latency, delta_t=delta_t)
-    approach.populate(network)
-
-    # Phase 1: advertisements.
-    network.attach_all_sensors()
-    network.run_to_quiescence()
-    after_ads = network.meter.snapshot()
-
-    # Phase 2: subscriptions, in registration order.
-    for item in placed:
-        network.register_subscription(item.node_id, item.subscription)
-        network.run_to_quiescence()
-    after_subs = network.meter.snapshot()
-
-    # Phase 3: event replay at a fixed virtual start time, interleaved
-    # with the churn schedule's lifecycle transitions.
-    if sim.now >= REPLAY_START:
-        raise RuntimeError(
-            f"subscription phase ran past t={REPLAY_START}; raise REPLAY_START"
-        )
-    node_of_sensor = {s.sensor_id: s.node_id for s in deployment.sensors}
-    sim.schedule_timeline(
-        (
-            event.timestamp,
-            lambda e=event: network.publish(node_of_sensor[e.sensor_id], e),
-        )
-        for event in events
+    compiled = CompiledProgram(
+        deployment=deployment,
+        events=tuple(events),
+        churn=churn,
+        admissions=tuple(
+            Admission(
+                sub_id=item.subscription.sub_id,
+                node_id=item.node_id,
+                subscription=item.subscription,
+                admit=None,
+                retire=None,
+            )
+            for item in placed
+        ),
+        replay_start=REPLAY_START,
+        span=0.0,
     )
-    if churn is not None:
-        network.schedule_churn(churn)
-    network.run_to_quiescence()
-    final = network.meter.snapshot()
-
-    # Phase 4: recall against the oracle.
-    if truths is None:
-        truths = compute_truth(
-            [p.subscription for p in placed],
-            deployment,
-            events,
-            method=oracle,
-            churn=churn,
-        )
-    report = measure_recall(truths, network.delivery)
-
-    sub_traffic = after_subs.minus(after_ads)
-    event_traffic = final.minus(after_subs)
-    return RunResult(
-        approach=approach.key,
-        n_subscriptions=len(placed),
-        subscription_load=sub_traffic.subscription_units,
-        event_load=event_traffic.event_units,
-        advertisement_load=after_ads.advertisement_units,
-        recall=report.recall,
-        false_positive_rate=report.false_positive_rate,
-        true_instances=report.true_instances,
-        delivered_instances=report.delivered_instances,
-        delivered_events=report.delivered_events,
-        dropped_subscriptions=len(network.dropped_subscriptions),
-        complex_deliveries=sum(network.delivery.complex_deliveries.values()),
-        sim_events=sim.processed_events,
-        reflood_load=final.advertisement_units - after_ads.advertisement_units,
+    return run_program(
+        approach,
+        compiled,
+        truths=truths,
+        delta_t=delta_t,
+        latency=latency,
+        oracle=oracle,
+        matching=matching,
     )
 
 
@@ -180,6 +224,13 @@ class SeriesResult:
     def false_positive_series(self, approach_key: str) -> list[float]:
         return [r.false_positive_rate for r in self.results[approach_key]]
 
+    def teardown_series(self) -> dict[str, list[int]]:
+        """Per-approach ``UnsubscribeMessage`` units at each point."""
+        return {
+            key: [r.teardown_load for r in runs]
+            for key, runs in self.results.items()
+        }
+
 
 def run_series(
     scenario: Scenario,
@@ -191,46 +242,34 @@ def run_series(
 ) -> SeriesResult:
     """All measurement points of one scenario for the given approaches.
 
-    The oracle ground truth per point is computed once and shared by all
-    approaches (it only depends on subscriptions + events).  ``oracle``
-    selects the truth pass (engine / reference); ``None`` defers to the
-    ``REPRO_ORACLE`` environment default.
+    The scenario compiles to one workload program per point (the static
+    prefix grows along the measurement axis; replay, churn and the
+    lifecycle schedule are shared through one
+    :class:`~repro.workload.program.ProgramSource`).  The oracle ground
+    truth per point is computed once from the compiled program and
+    shared by all approaches.  ``oracle`` selects the truth pass
+    (engine / reference); ``None`` defers to the ``REPRO_ORACLE``
+    environment default.
     """
     dt = scenario.delta_t if delta_t is None else delta_t
     deployment = scenario.deployment()
-    replay = scenario.make_replay(deployment)
     counts = scenario.subscription_counts(scale)
-    workload = generate_subscriptions(
-        deployment,
-        replay.medians,
-        scenario.workload_config(max(counts)),
-        spreads=replay.spreads,
-    )
-    shifted = replay.shifted(REPLAY_START)
-    churn = shifted_churn(replay)
+    base = scenario.program(max(counts))
+    source = base.source(deployment)
     series = SeriesResult(scenario, counts)
     for key in approaches:
         series.results[key] = []
     for n in counts:
-        placed = workload[:n]
-        truths = compute_truth(
-            [p.subscription for p in placed],
-            deployment,
-            shifted,
-            method=oracle,
-            churn=churn,
-        )
+        compiled = base.with_prefix(n).compile(deployment, source)
+        truths = compiled.truth(method=oracle)
         for key, approach in approaches.items():
             series.results[key].append(
-                run_point(
+                run_program(
                     approach,
-                    deployment,
-                    placed,
-                    shifted,
+                    compiled,
                     truths=truths,
                     delta_t=dt,
                     latency=latency,
-                    churn=churn,
                 )
             )
     return series

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from .messages import Message
+from .messages import Message, UnsubscribeMessage
 
 LinkId = tuple[str, str]
 """Directed link: (sender node id, receiver node id)."""
@@ -20,12 +20,19 @@ LinkId = tuple[str, str]
 
 @dataclass(frozen=True, slots=True)
 class TrafficSnapshot:
-    """Immutable totals at one instant — what experiment points record."""
+    """Immutable totals at one instant — what experiment points record.
+
+    ``teardown_units`` is the *subset* of ``subscription_units`` that
+    travelled as :class:`UnsubscribeMessage` — both sides of a
+    submit/cancel pair bill the subscription channel, but the admit/
+    retire experiments report registration and teardown separately.
+    """
 
     subscription_units: int
     event_units: int
     advertisement_units: int
     messages: int
+    teardown_units: int = 0
 
     def minus(self, baseline: "TrafficSnapshot") -> "TrafficSnapshot":
         """Traffic accumulated since ``baseline`` was taken."""
@@ -34,6 +41,7 @@ class TrafficSnapshot:
             self.event_units - baseline.event_units,
             self.advertisement_units - baseline.advertisement_units,
             self.messages - baseline.messages,
+            self.teardown_units - baseline.teardown_units,
         )
 
 
@@ -45,6 +53,7 @@ class TrafficMeter:
         self.event_units = 0
         self.advertisement_units = 0
         self.messages = 0
+        self.teardown_units = 0
         self.per_link: Counter[LinkId] = Counter()
         self.per_link_events: Counter[LinkId] = Counter()
         self.per_link_subscriptions: Counter[LinkId] = Counter()
@@ -64,6 +73,8 @@ class TrafficMeter:
         self.event_units += evt
         self.advertisement_units += adv
         self.messages += 1
+        if isinstance(message, UnsubscribeMessage):
+            self.teardown_units += sub
         self.per_link[link] += sub + evt + adv
         if evt:
             self.per_link_events[link] += evt
@@ -76,6 +87,7 @@ class TrafficMeter:
             self.event_units,
             self.advertisement_units,
             self.messages,
+            self.teardown_units,
         )
 
     def busiest_links(self, n: int = 5) -> list[tuple[LinkId, int]]:

@@ -92,6 +92,17 @@ class Simulator:
         """Current virtual time."""
         return self._now
 
+    @property
+    def running(self) -> bool:
+        """Whether the event loop is currently executing an action.
+
+        True inside any scheduled callback (a delivery notification, a
+        timeline entry, a process step) — the state in which a nested
+        :meth:`run` would raise.  Facade layers use it to turn the
+        opaque re-entrancy error into actionable guidance.
+        """
+        return self._running
+
     def rng(self, stream: str) -> np.random.Generator:
         """A named random stream, derived deterministically from the seed.
 

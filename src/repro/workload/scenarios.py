@@ -21,6 +21,7 @@ from ..network.topology import (
     medium_scale,
     small_scale,
 )
+from .program import QueryLifecycleConfig, WorkloadProgram
 from .sensorscope import (
     ChurnConfig,
     DynamicReplayConfig,
@@ -73,9 +74,11 @@ class Scenario:
 
     ``dynamic`` switches the scenario to the multi-day drifting replay;
     ``churn`` (requires ``dynamic``) adds the leave/rejoin schedule the
-    network layer turns into retraction floods and re-floods.  Both are
-    frozen config dataclasses, so scenarios stay hashable and picklable
-    for the sharded runner's memo keys.
+    network layer turns into retraction floods and re-floods;
+    ``lifecycle`` adds the Poisson query admit/retire workload on top
+    of the measured static prefix.  All are frozen config dataclasses,
+    so scenarios stay hashable and picklable for the sharded runner's
+    memo keys.
     """
 
     key: str
@@ -88,6 +91,7 @@ class Scenario:
     replay: ReplayConfig = field(default_factory=ReplayConfig)
     dynamic: DynamicReplayConfig | None = None
     churn: ChurnConfig | None = None
+    lifecycle: QueryLifecycleConfig | None = None
     delta_t: float = 5.0
     seed: int = 0
 
@@ -113,6 +117,18 @@ class Scenario:
             attrs_max=self.attrs_max,
             delta_t=self.delta_t,
             seed=self.seed + 17,
+        )
+
+    def program(self, max_subscriptions: int) -> WorkloadProgram:
+        """The scenario as a :class:`WorkloadProgram` whose generated
+        pool covers a static prefix of ``max_subscriptions`` — the
+        runner measures prefixes of it via ``with_prefix``."""
+        return WorkloadProgram(
+            subscriptions=self.workload_config(max_subscriptions),
+            replay=self.replay,
+            dynamic=self.dynamic,
+            churn=self.churn,
+            lifecycle=self.lifecycle,
         )
 
     def with_seed(self, seed: int) -> "Scenario":
@@ -169,6 +185,26 @@ two-day drifting, Pareto-bursty replay where a quarter of the sensors
 leaves and rejoins mid-campaign — the first scenario to exercise the
 advertisement retraction/re-flood path and the churn-aware oracle."""
 
+ADMIT_RETIRE = Scenario(
+    key="admit_retire",
+    title="Admit/retire (60 nodes, Poisson query lifecycle over a "
+    "2-day replay, all five approaches)",
+    deployment_factory=small_scale,
+    paper_subscription_counts=(200,),
+    attrs_min=3,
+    attrs_max=5,
+    include_centralized=True,
+    dynamic=DynamicReplayConfig(days=2, rounds_per_day=18, day_seconds=240.0),
+    lifecycle=QueryLifecycleConfig(admit_rate=0.05, hold=120.0),
+)
+"""The query-assignment family: a standing subscription prefix plus a
+Poisson stream of admissions, each retired after an exponential hold —
+the first scenario where the cancellation machinery (reverse-path
+removal, ``UnsubscribeMessage`` teardown traffic, per-lifetime oracle
+fences) is visible at figure scale.  Figures 15-16 sweep the admit
+rate over this scenario."""
+
 ALL_SCENARIOS: dict[str, Scenario] = {
-    s.key: s for s in (SMALL, MEDIUM, LARGE_NETWORK, LARGE_SOURCES, CHURN)
+    s.key: s
+    for s in (SMALL, MEDIUM, LARGE_NETWORK, LARGE_SOURCES, CHURN, ADMIT_RETIRE)
 }

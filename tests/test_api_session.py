@@ -478,6 +478,129 @@ class TestQueryHandle:
         assert all(key in {e.key for e in events} for key in truth.participants)
         assert handle.stats().delivered_events == 2  # nothing post-cancel
 
+    def test_stats_frozen_at_cancel(self):
+        """The satellite contract: a retired query's accounting freezes
+        at the cancellation instant — result streams still in flight
+        (or a later incarnation reusing the id) never accrue to it.
+        The delivered *history* views stay live."""
+        session = small_session()
+        handle = session.submit(freeze_query(session), at="r2")
+        ambient, surface = pair_of_sensors(session)
+        t0 = session.now + 10.0
+        e1 = session.ingest(ambient.sensor_id, 1.0, timestamp=t0)
+        e2 = session.ingest(surface.sensor_id, -1.0, timestamp=t0 + 1.0)
+        session.drain()
+        assert handle.cancel()
+        frozen = handle.stats()
+        assert frozen.delivered_events == 2 and frozen.matches == 1
+        assert not frozen.active and frozen.cancellation_units > 0
+        # A straggler landing in the log after the teardown (the
+        # cancel-while-matching race) must not change the stats...
+        straggler = SimpleEvent(
+            ambient.sensor_id,
+            ambient.attribute.name,
+            ambient.location,
+            2.0,
+            timestamp=session.now + 1.0,
+            seq=999,
+        )
+        session.delivery.record_events("freeze-watch", [straggler])
+        session.delivery.record_complex("freeze-watch")
+        assert handle.stats() == frozen
+        # ...while the history views keep reading the live log.
+        assert straggler in handle.events()
+        assert handle.events()[:2] == [e1, e2]
+
+    def test_stats_frozen_under_unsettled_cancel(self):
+        """cancel(settle=False) freezes at the issue instant: matches
+        still in flight at the teardown are not accounted."""
+        session = small_session()
+        handle = session.submit(freeze_query(session), at="r2")
+        ambient, surface = pair_of_sensors(session)
+        session.ingest(ambient.sensor_id, 1.0)
+        session.ingest(surface.sensor_id, -1.0)
+        # Nothing delivered yet (the events are mid-flight); cancel now.
+        assert handle.cancel(settle=False)
+        frozen = handle.stats()
+        assert frozen.delivered_events == 0
+        session.drain()
+        assert handle.stats() == frozen
+
+    def test_stats_live_while_active(self):
+        session = small_session()
+        handle = session.submit(freeze_query(session), at="r2")
+        ambient, surface = pair_of_sensors(session)
+        assert handle.stats().delivered_events == 0
+        session.ingest(ambient.sensor_id, 1.0)
+        session.ingest(surface.sensor_id, -1.0)
+        session.drain()
+        assert handle.stats().delivered_events == 2
+
+
+class TestReentrancy:
+    """Programmatic driving surfaced the gap: submitting (or
+    cancelling) from inside a delivery callback or mid-``drain`` used
+    to die with an opaque ``SimulationError: run() is not reentrant``
+    somewhere inside the settle.  Now: ``settle=True`` raises a clear
+    :class:`QueryError` up front, ``settle=False`` works."""
+
+    def test_submit_mid_drain_with_settle_raises_query_error(self):
+        session = small_session()
+        query = freeze_query(session)
+        errors: list[Exception] = []
+
+        def mid_drain_submit():
+            with pytest.raises(QueryError, match="settle=False"):
+                session.submit(query)
+            errors.append(True)  # reached: the guard fired cleanly
+
+        session.network.sim.at(session.now + 1.0, mid_drain_submit)
+        session.drain()
+        assert errors
+        assert "freeze-watch" not in session.handles
+
+    def test_cancel_mid_drain_with_settle_raises_query_error(self):
+        session = small_session()
+        handle = session.submit(freeze_query(session))
+
+        def mid_drain_cancel():
+            with pytest.raises(QueryError, match="settle=False"):
+                handle.cancel()
+
+        session.network.sim.at(session.now + 1.0, mid_drain_cancel)
+        session.drain()
+        assert handle.active  # the guarded cancel never went through
+
+    def test_submit_mid_drain_with_settle_false_works(self):
+        """An unsettled mid-drain submit registers, floods, and the
+        query then delivers like any other."""
+        session = small_session()
+        ambient, surface = pair_of_sensors(session)
+        query = freeze_query(session)
+        t0 = session.now + 50.0
+
+        session.network.sim.at(
+            session.now + 1.0,
+            lambda: session.submit(query, settle=False),
+        )
+        session.ingest(ambient.sensor_id, 1.5, timestamp=t0)
+        session.ingest(surface.sensor_id, -3.0, timestamp=t0 + 1.5)
+        session.drain()
+        handle = session.handles["freeze-watch"]
+        assert handle.active
+        assert handle.stats().delivered_events == 2
+        assert len(handle.matches()) == 1
+
+    def test_cancel_mid_drain_with_settle_false_works(self):
+        session = small_session()
+        handle = session.submit(freeze_query(session))
+        session.network.sim.at(
+            session.now + 1.0, lambda: handle.cancel(settle=False)
+        )
+        session.drain()
+        assert not handle.active
+        assert handle.cancelled_at is not None
+
 
 class TestDeprecationShims:
     def test_quick_network_warns_and_delegates(self):

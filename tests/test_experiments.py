@@ -118,14 +118,54 @@ class TestCli:
         finally:
             figures.clear_cache()
 
+    def test_list_target(self, capsys):
+        """--list enumerates families, figures and presets without
+        running anything (the discoverability satellite)."""
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario families" in out
+        for key in ("small", "medium", "large_network", "large_sources",
+                    "churn", "admit_retire"):
+            assert f"\n{key}: " in out or out.startswith(f"{key}: ")
+        assert "fig15" in out and "fig16" in out
+        assert "query lifecycle" in out
+        assert "Scale presets" in out and "smoke" in out and "nightly" in out
+
+    def test_no_target_rejected_without_list(self):
+        with pytest.raises(SystemExit):
+            cli_main([])
+
+    def test_admit_retire_figure_targets(self, capsys, monkeypatch):
+        """fig15/fig16 render at smoke scale with teardown traffic
+        reported separately from registration (one admit rate here;
+        the full sweep runs in the admit-retire-smoke CI job)."""
+        monkeypatch.setattr(figures, "ADMIT_RATE_AXIS", (0.05,))
+        figures.clear_cache()
+        try:
+            assert cli_main(["fig15", "--scale", "0.05"]) == 0
+            out = capsys.readouterr().out
+            assert "Steady-state recall" in out
+            assert "retired" in out
+            assert cli_main(["fig16", "--scale", "0.05"]) == 0
+            out = capsys.readouterr().out
+            assert "Traffic split" in out
+            assert "- teardown" in out and "- registration" in out
+            assert "metered" in out
+        finally:
+            figures.clear_cache()
+
 
 class TestFigureHarness:
     def test_all_figures_registered(self):
         assert sorted(figures.ALL_FIGURES, key=int) == [
             "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14",
+            "15", "16",
         ]
-        # The churn family is gated behind --churn for bulk targets.
+        # The beyond-paper families are gated behind --churn/--beyond
+        # for bulk targets.
         assert set(figures.CHURN_FIGURES) == {"13", "14"}
+        assert set(figures.ADMIT_RETIRE_FIGURES) == {"15", "16"}
+        assert set(figures.BEYOND_PAPER_FIGURES) == {"13", "14", "15", "16"}
 
     def test_figure_result_render(self):
         result = figures.FigureResult(

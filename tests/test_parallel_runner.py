@@ -33,6 +33,7 @@ from repro.experiments.parallel import (
 )
 from repro.network.topology import build_deployment
 from repro.protocols.registry import distributed_approaches
+from repro.workload.program import QueryLifecycleConfig
 from repro.workload.scenarios import Scenario
 from repro.workload.sensorscope import ChurnConfig, DynamicReplayConfig
 
@@ -55,6 +56,19 @@ TINY_CHURN = Scenario(
     attrs_max=5,
     dynamic=DynamicReplayConfig(days=2, rounds_per_day=6, day_seconds=100.0),
     churn=ChurnConfig(cycle_fraction=0.3),
+)
+
+# The query-lifecycle variant: a Poisson admit/retire stream on top of
+# the static prefix — lifecycle edges must thread through worker memos
+# (and across PYTHONHASHSEED values) exactly like churn does.
+TINY_LIFECYCLE = Scenario(
+    key="tiny-lifecycle",
+    title="tiny admit/retire scenario",
+    deployment_factory=tiny_series_scenario().deployment_factory,
+    paper_subscription_counts=(60, 120),
+    attrs_min=3,
+    attrs_max=5,
+    lifecycle=QueryLifecycleConfig(admit_rate=0.1, hold=20.0),
 )
 
 
@@ -145,6 +159,26 @@ class TestMergeFidelity:
         assert all(
             r.reflood_load > 0 for runs in serial.results.values() for r in runs
         )
+
+    def test_lifecycle_sharded_equals_serial_bit_identically(self):
+        """The admit/retire family through both runners: program
+        compilation, scheduled admissions/retirements and the
+        per-lifetime oracle fences must all reproduce identically in
+        worker processes — the tentpole acceptance check."""
+        serial = run_series(TINY_LIFECYCLE, distributed_approaches(), scale=0.1)
+        parallel = run_series_parallel(
+            TINY_LIFECYCLE, distributed_approaches(), workers=2, scale=0.1
+        )
+        assert parallel.counts == serial.counts
+        assert parallel.results == serial.results
+        # The lifecycle machinery genuinely ran: queries were admitted
+        # beyond the static prefix, retired, and teardown was metered.
+        for runs in serial.results.values():
+            for n, r in zip(serial.counts, runs):
+                assert r.n_subscriptions > n
+                assert r.retired_queries > 0
+                assert r.teardown_load > 0
+                assert r.admit_load > 0
 
     def test_workers_env_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
@@ -283,3 +317,42 @@ for key, runs in series.results.items():
         b = _run_under_hashseed(self._CHURN_SCRIPT, "424242")
         assert a == b
         assert "reflood_load" in a and "d0_" in a
+
+    _LIFECYCLE_SCRIPT = """
+import sys; sys.path.insert(0, {path!r})
+from repro.experiments import run_series_parallel
+from repro.network.topology import build_deployment
+from repro.workload.program import QueryLifecycleConfig
+from repro.workload.scenarios import Scenario
+
+def factory(seed):
+    return build_deployment(24, 3, seed=seed)
+
+scenario = Scenario(
+    key="xproc-lifecycle",
+    title="cross-process admit/retire determinism",
+    deployment_factory=factory,
+    paper_subscription_counts=(60, 120),
+    attrs_min=3,
+    attrs_max=5,
+    lifecycle=QueryLifecycleConfig(admit_rate=0.1, hold=20.0),
+)
+program = scenario.program(12)
+source = program.source(factory(scenario.seed))
+print(source.edges)
+series = run_series_parallel(scenario, ["naive", "fsf"], workers=2, scale=0.1)
+for key, runs in series.results.items():
+    for result in runs:
+        print(key, repr(result))
+"""
+
+    def test_lifecycle_series_and_schedule_equal_across_hashseeds(self):
+        """The Poisson admit/retire draws and the whole sharded series
+        built from them are bit-identical across PYTHONHASHSEED
+        subprocesses — the acceptance criterion of the workload-program
+        tentpole."""
+        a = _run_under_hashseed(self._LIFECYCLE_SCRIPT, "0")
+        b = _run_under_hashseed(self._LIFECYCLE_SCRIPT, "31337")
+        assert a == b
+        assert "LifecycleEdge" in a
+        assert "retired_queries=" in a and "retired_queries=0" not in a

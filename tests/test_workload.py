@@ -393,19 +393,26 @@ class TestSubscriptionGenerator:
 
 
 class TestScenarios:
-    def test_five_scenarios_registered(self):
+    def test_six_scenarios_registered(self):
         assert set(ALL_SCENARIOS) == {
             "small",
             "medium",
             "large_network",
             "large_sources",
             "churn",
+            "admit_retire",
         }
         churn = ALL_SCENARIOS["churn"]
         # The acceptance floor of the dynamic family: at least two
         # simulated days and at least 20% of the sensors cycling.
         assert churn.dynamic is not None and churn.dynamic.days >= 2
         assert churn.churn is not None and churn.churn.cycle_fraction >= 0.2
+        admit_retire = ALL_SCENARIOS["admit_retire"]
+        # The acceptance floor of the query-assignment family: an
+        # ongoing lifecycle with finite holds, all five approaches.
+        assert admit_retire.lifecycle is not None
+        assert admit_retire.lifecycle.hold is not None
+        assert admit_retire.include_centralized
 
     def test_counts_scale(self):
         full = SMALL.subscription_counts(scale=1.0)
