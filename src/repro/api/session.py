@@ -75,6 +75,8 @@ class Session:
         delta_t: float = 5.0,
         deployment: Deployment | None = None,
         fsf_config=None,
+        faults=None,
+        reliability=None,
     ) -> "Session":
         """Assemble a ready-to-use session.
 
@@ -87,6 +89,9 @@ class Session:
         passed (so a pre-built deployment reproduces the experiment
         runner's simulator streams), else 0.  Sensors are attached and
         their advertisements flooded before the session is returned.
+        ``faults``/``reliability`` switch the network onto the seeded
+        unreliable transport (:mod:`repro.network.faults`) and the
+        opt-in ack/refresh layer (:mod:`repro.network.reliability`).
         """
         from ..protocols.registry import all_approaches  # local: avoid cycle
 
@@ -110,6 +115,8 @@ class Session:
             latency=latency,
             delta_t=delta_t,
             matching=matching,
+            faults=faults,
+            reliability=reliability,
         )
         resolved.populate(network)
         network.attach_all_sensors()

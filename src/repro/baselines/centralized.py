@@ -122,6 +122,11 @@ class CentralizedNode(Node):
             return
         self._cancelled_local.discard(subscription.sub_id)
         self.local_subscriptions.append((subscription, root))
+        # Reverse-path memory, reused by soft-state refresh: the root
+        # travelled to the centre, so refresh re-offers it there.
+        self._forwarded_subs.setdefault(subscription.sub_id, {}).setdefault(
+            self.network.center, {}
+        )[root.op_id] = root
         self.network.unicast(
             self.node_id, self.network.center, OperatorMessage(root)
         )
@@ -141,6 +146,7 @@ class CentralizedNode(Node):
         edge, not delivered).
         """
         self._cancelled_local.add(sub_id)
+        self._forwarded_subs.pop(sub_id, None)
         if self.node_id == self.network.center:
             self.handle_unsubscribe(sub_id, LOCAL)
         else:
@@ -155,6 +161,33 @@ class CentralizedNode(Node):
         store = self.stores.get(LOCAL)
         if store is not None:
             store.remove_subscription(sub_id)
+
+    # ------------------------------------------------------------------
+    # reliability layer
+    # ------------------------------------------------------------------
+    def refresh_soft_state(self, epoch: int, expiry_rounds: int) -> None:
+        """Centralized refresh: re-offer each live root to the centre.
+
+        There is no advertisement soft state to expire or re-flood
+        (Table II: no advertisement propagation at all); the only state
+        a crashed centre loses that this node can restore is the
+        operators it sent there, so refresh re-unicasts them.  The
+        centre ignores copies it still holds.
+        """
+        for sub_id in sorted(self._forwarded_subs):
+            per_target = self._forwarded_subs[sub_id]
+            for target in sorted(per_target):
+                pieces = per_target[target]
+                for op_id in sorted(pieces):
+                    self.network.unicast(
+                        self.node_id,
+                        target,
+                        OperatorMessage(pieces[op_id], refresh_epoch=epoch),
+                    )
+
+    def on_crash(self) -> None:
+        self._departed_once = set()
+        self._cancelled_local = set()
 
     # ------------------------------------------------------------------
     # event side

@@ -83,6 +83,13 @@ class MultiJoinNode(Node):
         # filter dispatch (same-signature streams are shared).
         self._dispatched_filters: dict[str, list[_DispatchRecord]] = {}
 
+    def on_crash(self) -> None:
+        # Roles, ring pairings and the dispatch ledger all derive from
+        # the stored operators, which a crash just dropped.
+        self.roles = {}
+        self._ring_cache = {}
+        self._dispatched_filters = {}
+
     # ------------------------------------------------------------------
     # subscription side
     # ------------------------------------------------------------------

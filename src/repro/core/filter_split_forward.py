@@ -70,6 +70,15 @@ class FilterSplitForwardNode(Node):
             rng=network.sim.rng(f"setfilter:{node_id}"),
         )
 
+    def on_crash(self) -> None:
+        # A fresh filter over the same named stream: any learned filter
+        # state is volatile, the draw sequence simply continues.
+        self.set_filter = ProbabilisticSetFilter(
+            self.config.error_probability,
+            self.config.gap_fraction,
+            rng=self.network.sim.rng(f"setfilter:{self.node_id}"),
+        )
+
     # ------------------------------------------------------------------
     # subscription side: Algorithms 2, 3, 4
     # ------------------------------------------------------------------

@@ -45,13 +45,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             "table1",
             "table2",
             "fig3",
-            *(f"fig{i}" for i in range(4, 17)),
+            *(f"fig{i}" for i in range(4, 19)),
             "all",
             "experiments-md",
         ],
-        help="what to regenerate (figs 13-14 are the churn family and "
-        "figs 15-16 the query admit/retire family, both beyond the "
-        "paper); omit with --list to browse what exists",
+        help="what to regenerate (figs 13-14 are the churn family, "
+        "figs 15-16 the query admit/retire family and figs 17-18 the "
+        "unreliable-transport family, all beyond the paper); omit with "
+        "--list to browse what exists",
     )
     parser.add_argument(
         "--list",
@@ -66,8 +67,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         dest="churn",
         action="store_true",
         help="include the beyond-paper families (churn figs 13-14, "
-        "admit/retire figs 15-16) in the 'all' and 'experiments-md' "
-        "targets; their dedicated figN targets always run",
+        "admit/retire figs 15-16, faults figs 17-18) in the 'all' and "
+        "'experiments-md' targets; their dedicated figN targets always "
+        "run",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="include just the unreliable-transport family (figs 17-18) "
+        "in the 'all' and 'experiments-md' targets without pulling in "
+        "the other beyond-paper families",
     )
     parser.add_argument(
         "--scale",
@@ -139,14 +148,21 @@ def _run(args: argparse.Namespace) -> int:
     elif args.target.startswith("fig"):
         out.append(_figure_command(args.target[3:], args.scale))
     elif args.target == "experiments-md":
-        out.append(build_experiments_md(args.scale, include_churn=args.churn))
+        out.append(
+            build_experiments_md(
+                args.scale,
+                include_churn=args.churn,
+                include_faults=args.faults,
+            )
+        )
     else:  # all
         out.append(render_table_i())
         out.append(render_table_2())
         out.append(run_fig3_walkthrough().render())
         for fig_id in sorted(figures.ALL_FIGURES, key=int):
             if fig_id in figures.BEYOND_PAPER_FIGURES and not args.churn:
-                continue
+                if not (args.faults and fig_id in figures.FAULTS_FIGURES):
+                    continue
             out.append(_figure_command(fig_id, args.scale))
     text = "\n\n".join(out) + "\n"
     if args.output:

@@ -38,17 +38,28 @@ PAPER_CLAIMS = {
     "service, split registration / teardown (UnsubscribeMessage units, "
     "metered separately) / events / results, per approach, vs. the "
     "admit rate.",
+    "17": "Beyond the paper — recall vs per-link loss with the "
+    "ack/retransmit + soft-state-refresh layer on and off: protecting "
+    "control traffic alone recovers most of the recall lost to broken "
+    "setup state; the residual decay is the unprotected event traffic's "
+    "multi-hop loss physics.",
+    "18": "Beyond the paper — the reliability layer's bill: refresh "
+    "units are a loss-independent floor (periodic soft-state floods), "
+    "retransmit units grow with the drop rate.",
 }
 
 
 def build_experiments_md(
-    scale: float | None = None, include_churn: bool = False
+    scale: float | None = None,
+    include_churn: bool = False,
+    include_faults: bool = False,
 ) -> str:
     """Run everything and render the paper-vs-measured record.
 
-    ``include_churn`` appends the beyond-paper figures (churn 13-14,
-    query admit/retire 15-16); off by default to keep the paper-facing
-    record paper-shaped.
+    ``include_churn`` appends all beyond-paper figures (churn 13-14,
+    query admit/retire 15-16, faults 17-18); ``include_faults`` appends
+    just the fault family.  Both off by default to keep the
+    paper-facing record paper-shaped.
     """
     eff_scale = default_scale() if scale is None else scale
     parts: list[str] = [
@@ -89,7 +100,8 @@ def build_experiments_md(
     ]
     for fig_id in sorted(figures.ALL_FIGURES, key=int):
         if fig_id in figures.BEYOND_PAPER_FIGURES and not include_churn:
-            continue
+            if not (include_faults and fig_id in figures.FAULTS_FIGURES):
+                continue
         result = figures.ALL_FIGURES[fig_id](eff_scale)
         parts += [
             f"## Figure {fig_id}",

@@ -17,11 +17,14 @@ from ..metrics.report import (
     render_traffic_accounting,
     summarize_improvement,
 )
+from ..network.faults import FaultPlan, LinkFault
+from ..network.reliability import ReliabilityConfig
 from ..protocols.registry import all_approaches, distributed_approaches
 from ..workload.scenarios import (
     ADMIT_RETIRE,
     ALL_SCENARIOS,
     CHURN,
+    FAULTS,
     LARGE_NETWORK,
     LARGE_SOURCES,
     MEDIUM,
@@ -374,6 +377,102 @@ def figure_16(scale: float | None = None) -> FigureResult:
     )
 
 
+LOSS_AXIS = (0.0, 0.02, 0.05, 0.1)
+"""The x axis of the fault family: per-link drop probability, swept
+over the ``faults`` scenario with reliability on and off.  The 0.2+
+regime is omitted — every approach is already at (or near) zero recall
+by 10% per-link loss, because a complex match needs *all* of its
+participant events to survive independent multi-hop journeys."""
+
+
+def faults_variant(loss: float, reliable: bool) -> Scenario:
+    """The ``faults`` scenario at one loss rate (own cache key).
+
+    ``reliable=False`` strips the ack/retransmit + refresh layer so the
+    same seeded fault plan hits raw best-effort links — the on/off pair
+    in figure 17 isolates what the reliability layer buys back.
+    """
+    return replace(
+        FAULTS,
+        key=f"faults@{loss:g}{'r' if reliable else 'u'}",
+        faults=FaultPlan(default=LinkFault(drop=loss), seed=97),
+        reliability=ReliabilityConfig() if reliable else None,
+    )
+
+
+def _faults_runs(scale: float | None, reliable: bool) -> list[SeriesResult]:
+    return [
+        scenario_series(faults_variant(loss, reliable), scale)
+        for loss in LOSS_AXIS
+    ]
+
+
+def figure_17(scale: float | None = None) -> FigureResult:
+    """Recall vs link loss, reliability on/off — beyond the paper.
+
+    Ten lanes: each approach under the seeded fault plan with the
+    reliability layer enabled (acked control traffic, soft-state
+    refresh) and disabled (raw best-effort links).  Event traffic is
+    never retransmitted in either mode, so the residual decay measures
+    the loss physics; the on/off gap measures what protecting *setup
+    state* alone recovers — lost advertisement floods and operator
+    placements poison every later match, lost events only one.
+    """
+    on_runs = _faults_runs(scale, True)
+    off_runs = _faults_runs(scale, False)
+    series: dict[str, tuple[float, ...]] = {}
+    for key in on_runs[0].results:
+        label = APPROACH_LABELS.get(key, key)
+        series[f"{label} (reliable)"] = tuple(
+            round(100 * run.results[key][-1].recall, 1) for run in on_runs
+        )
+        series[f"{label} (no reliability)"] = tuple(
+            round(100 * run.results[key][-1].recall, 1) for run in off_runs
+        )
+    return FigureResult(
+        "17",
+        "End user event recall (%) vs per-link loss rate",
+        "Per-link drop probability",
+        LOSS_AXIS,
+        series,
+        notes="Reliability covers control traffic only (ack/retransmit "
+        "+ soft-state refresh); events ride the lossy links unprotected "
+        "in both modes.",
+    )
+
+
+def figure_18(scale: float | None = None) -> FigureResult:
+    """Reliability overhead vs link loss — beyond the paper.
+
+    The price of figure 17's recovered recall: per approach, the units
+    the ack/retransmit layer re-sent plus the units the periodic
+    soft-state refresh rounds carried, as the loss rate grows.  The
+    refresh floor is paid even at zero loss; retransmissions scale with
+    the drop rate.
+    """
+    runs = _faults_runs(scale, True)
+    series: dict[str, tuple[float, ...]] = {}
+    for key in runs[0].results:
+        label = APPROACH_LABELS.get(key, key)
+        series[f"{label} - retransmit"] = tuple(
+            float(run.results[key][-1].retransmission_load) for run in runs
+        )
+        series[f"{label} - refresh"] = tuple(
+            float(run.results[key][-1].refresh_load) for run in runs
+        )
+    return FigureResult(
+        "18",
+        "Reliability overhead (units) vs per-link loss rate",
+        "Per-link drop probability",
+        LOSS_AXIS,
+        series,
+        notes="Reliability-on runs only; shares the figure 17 cache. "
+        "Refresh units are the periodic soft-state floods (paid even "
+        "at zero loss); retransmit units are loss-triggered re-sends "
+        "of acked control transfers.",
+    )
+
+
 ALL_FIGURES = {
     "4": figure_4,
     "5": figure_5,
@@ -388,6 +487,8 @@ ALL_FIGURES = {
     "14": figure_14,
     "15": figure_15,
     "16": figure_16,
+    "17": figure_17,
+    "18": figure_18,
 }
 
 CHURN_FIGURES = ("13", "14")
@@ -396,7 +497,10 @@ CHURN_FIGURES = ("13", "14")
 ADMIT_RETIRE_FIGURES = ("15", "16")
 """The query admit/retire family — beyond the paper."""
 
-BEYOND_PAPER_FIGURES = CHURN_FIGURES + ADMIT_RETIRE_FIGURES
+FAULTS_FIGURES = ("17", "18")
+"""The robustness family (unreliable transport) — beyond the paper."""
+
+BEYOND_PAPER_FIGURES = CHURN_FIGURES + ADMIT_RETIRE_FIGURES + FAULTS_FIGURES
 """Figures past the paper's 4-12 set, gated behind the CLI's
 ``--beyond`` (né ``--churn``) flag for the ``all`` / ``experiments-md``
 targets; their dedicated ``figN`` targets always run."""
@@ -415,6 +519,8 @@ FIGURE_SCENARIOS: dict[str, str] = {
     "14": "churn",
     "15": "admit_retire (rate sweep)",
     "16": "admit_retire (rate sweep)",
+    "17": "faults (loss sweep, reliability on/off)",
+    "18": "faults (loss sweep, reliability on)",
 }
 """Which scenario family feeds each figure — the ``--list`` catalog."""
 
@@ -442,6 +548,12 @@ def render_catalog() -> str:
             extras.append(
                 f"query lifecycle (admit_rate={scenario.lifecycle.admit_rate:g})"
             )
+        if scenario.faults is not None:
+            extras.append(
+                f"fault injection (drop={scenario.faults.default.drop:g})"
+            )
+        if scenario.reliability is not None:
+            extras.append("ack/retransmit + soft-state refresh")
         if scenario.include_centralized:
             extras.append("includes centralized")
         if extras:
@@ -455,6 +567,10 @@ def render_catalog() -> str:
     if ADMIT_RETIRE_FIGURES:
         lines.append(
             f"  admit-rate axis (figs 15-16): {list(ADMIT_RATE_AXIS)}"
+        )
+    if FAULTS_FIGURES:
+        lines.append(
+            f"  link-loss axis (figs 17-18): {list(LOSS_AXIS)}"
         )
     lines += ["", "Scale presets", "============="]
     for name, value in sorted(SCALE_PRESETS.items(), key=lambda kv: kv[1]):

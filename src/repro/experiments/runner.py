@@ -70,6 +70,12 @@ class RunResult:
     ``teardown_load`` the ``UnsubscribeMessage`` units of the
     ``retired_queries`` retirements.  Programs without a lifecycle
     measure 0 on all three extras.
+
+    The fault lane: ``retransmission_load`` are the units the
+    reliability layer re-sent (whole-run total), ``refresh_load`` the
+    units its soft-state refresh rounds carried, ``dropped_messages``
+    the transmissions the fault plan lost.  Fault-free runs measure 0
+    on all three.
     """
 
     approach: str
@@ -89,6 +95,9 @@ class RunResult:
     admit_load: int = 0
     teardown_load: int = 0
     retired_queries: int = 0
+    retransmission_load: int = 0
+    refresh_load: int = 0
+    dropped_messages: int = 0
 
 
 def run_program(
@@ -141,6 +150,9 @@ def run_program(
         admit_load=event_traffic.subscription_units - teardown,
         teardown_load=teardown,
         retired_queries=execution.retired,
+        retransmission_load=execution.final.retransmission_units,
+        refresh_load=execution.final.refresh_units,
+        dropped_messages=execution.final.dropped_messages,
     )
 
 
@@ -228,6 +240,14 @@ class SeriesResult:
         """Per-approach ``UnsubscribeMessage`` units at each point."""
         return {
             key: [r.teardown_load for r in runs]
+            for key, runs in self.results.items()
+        }
+
+    def reliability_overhead_series(self) -> dict[str, list[int]]:
+        """Per-approach retransmit + refresh units at each point (the
+        price of the reliability layer, figure 18's y-axis)."""
+        return {
+            key: [r.retransmission_load + r.refresh_load for r in runs]
             for key, runs in self.results.items()
         }
 

@@ -294,6 +294,7 @@ def compute_truth(
     churn=None,
     cancellations: Mapping[str, float] | None = None,
     activations: Mapping[str, float] | None = None,
+    outages: Sequence[tuple[str, float, float]] | None = None,
 ) -> dict[str, SubscriptionTruth]:
     """Enumerate every true match instance of every subscription.
 
@@ -309,8 +310,30 @@ def compute_truth(
     that lifetime exactly like a departed sensor's history — which also
     keeps resubmitted ids from inheriting their previous incarnation's
     truth.
+
+    ``outages`` — ``(sensor_id, down_from, down_until)`` fences from a
+    fault plan's correlated broker outages (already on the ``events``
+    clock) — excludes the publications a crashed host dropped: a reading
+    stamped inside the half-open window ``(down_from, down_until]``
+    never left the broker, so no approach could deliver it and the
+    oracle never charges it.  Unlike churn there is no retraction flood,
+    so the sensor's *earlier* events stay visible — the network still
+    holds them, matching online behaviour.  Applied identically before
+    both truth passes (the filter shapes the index both passes share).
     """
     method = default_oracle() if method is None else method
+    if outages:
+        windows: dict[str, list[tuple[float, float]]] = {}
+        for sensor_id, down_from, down_until in outages:
+            windows.setdefault(sensor_id, []).append((down_from, down_until))
+        events = [
+            e
+            for e in events
+            if not any(
+                down_from < e.timestamp <= down_until
+                for down_from, down_until in windows.get(e.sensor_id, ())
+            )
+        ]
     index = EventIndex(events)
     truths: dict[str, SubscriptionTruth] = {}
     for subscription in subscriptions:

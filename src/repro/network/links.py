@@ -26,6 +26,11 @@ class TrafficSnapshot:
     travelled as :class:`UnsubscribeMessage` — both sides of a
     submit/cancel pair bill the subscription channel, but the admit/
     retire experiments report registration and teardown separately.
+    ``retransmission_units`` and ``refresh_units`` are likewise subsets
+    (units re-sent by the reliability layer's ack timers, and units
+    carried by soft-state refresh rounds): the reliability overhead
+    figure 18 plots.  ``dropped_messages`` counts transmissions the
+    fault lane lost (or that arrived at a crashed broker).
     """
 
     subscription_units: int
@@ -33,6 +38,9 @@ class TrafficSnapshot:
     advertisement_units: int
     messages: int
     teardown_units: int = 0
+    retransmission_units: int = 0
+    refresh_units: int = 0
+    dropped_messages: int = 0
 
     def minus(self, baseline: "TrafficSnapshot") -> "TrafficSnapshot":
         """Traffic accumulated since ``baseline`` was taken."""
@@ -42,6 +50,9 @@ class TrafficSnapshot:
             self.advertisement_units - baseline.advertisement_units,
             self.messages - baseline.messages,
             self.teardown_units - baseline.teardown_units,
+            self.retransmission_units - baseline.retransmission_units,
+            self.refresh_units - baseline.refresh_units,
+            self.dropped_messages - baseline.dropped_messages,
         )
 
 
@@ -54,17 +65,29 @@ class TrafficMeter:
         self.advertisement_units = 0
         self.messages = 0
         self.teardown_units = 0
+        self.retransmission_units = 0
+        self.refresh_units = 0
+        self.dropped_messages = 0
         self.per_link: Counter[LinkId] = Counter()
         self.per_link_events: Counter[LinkId] = Counter()
         self.per_link_subscriptions: Counter[LinkId] = Counter()
 
-    def record(self, link: LinkId, message: Message, hops: int = 1) -> None:
+    def record(
+        self,
+        link: LinkId,
+        message: Message,
+        hops: int = 1,
+        retransmission: bool = False,
+    ) -> None:
         """Charge ``message`` travelling ``hops`` links starting at ``link``.
 
         ``hops > 1`` is used by the unicast shortcut of the centralized
         baseline, where a message logically crosses a whole shortest
         path; the per-link breakdown then attributes everything to the
         first link (totals — what the paper reports — stay exact).
+        ``retransmission=True`` marks a reliability-layer resend: it
+        bills every channel like the original copy and additionally the
+        ``retransmission_units`` subset.
         """
         sub = message.subscription_units * hops
         evt = message.event_units * hops
@@ -75,11 +98,19 @@ class TrafficMeter:
         self.messages += 1
         if isinstance(message, UnsubscribeMessage):
             self.teardown_units += sub
+        if retransmission:
+            self.retransmission_units += sub + evt + adv
+        if getattr(message, "refresh_epoch", None) is not None:
+            self.refresh_units += sub + adv
         self.per_link[link] += sub + evt + adv
         if evt:
             self.per_link_events[link] += evt
         if sub:
             self.per_link_subscriptions[link] += sub
+
+    def record_drop(self) -> None:
+        """Count one transmission lost by the fault lane."""
+        self.dropped_messages += 1
 
     def snapshot(self) -> TrafficSnapshot:
         return TrafficSnapshot(
@@ -88,6 +119,9 @@ class TrafficMeter:
             self.advertisement_units,
             self.messages,
             self.teardown_units,
+            self.retransmission_units,
+            self.refresh_units,
+            self.dropped_messages,
         )
 
     def busiest_links(self, n: int = 5) -> list[tuple[LinkId, int]]:

@@ -32,10 +32,17 @@ class AdvertisementMessage:
     path).  Retractions cost one advertisement unit per link, exactly
     like the advertisement they cancel; both are part of the
     advertisement load the churn experiments account for.
+
+    ``refresh_epoch`` tags soft-state refresh copies: round ``k`` of the
+    reliability layer's periodic re-flood.  Refresh copies dedupe per
+    sensor per epoch (not via the advertisement table, which would stop
+    them before they reach a recovered, state-less broker) and renew the
+    receiver's soft-state clock for the sensor.
     """
 
     advertisement: Advertisement
     retract: bool = False
+    refresh_epoch: int | None = None
 
     @property
     def subscription_units(self) -> int:
@@ -52,9 +59,16 @@ class AdvertisementMessage:
 
 @dataclass(frozen=True, slots=True)
 class OperatorMessage:
-    """A correlation operator travelling the reverse advertisement path."""
+    """A correlation operator travelling the reverse advertisement path.
+
+    ``refresh_epoch`` tags soft-state re-sends: the sender re-offers an
+    operator it already forwarded over this link so a broker that
+    crashed (and lost its stores) re-learns it.  Receivers that still
+    hold the operator ignore the copy.
+    """
 
     operator: CorrelationOperator
+    refresh_epoch: int | None = None
 
     @property
     def subscription_units(self) -> int:

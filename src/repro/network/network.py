@@ -14,10 +14,12 @@ from typing import TYPE_CHECKING, Iterable
 from ..deprecation import warn_deprecated
 from ..model.events import SimpleEvent
 from ..model.subscriptions import Subscription
-from ..sim import Simulator
+from ..sim import AgendaBudgetExceeded, SimulationError, Simulator
 from .delivery import DeliveryLog
+from .faults import FaultPlan
 from .links import TrafficMeter
 from .messages import EventMessage, Message, OperatorMessage
+from .reliability import ReliabilityConfig, Transport
 from .routing import RoutingTable, graph_center
 from .topology import Deployment
 
@@ -26,6 +28,41 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 UNICAST_ORIGIN = "__unicast__"
 """Origin marker for messages that arrive via multi-hop unicast."""
+
+
+class LivelockError(SimulationError):
+    """:meth:`Network.run_to_quiescence` exhausted its event budget.
+
+    Carries a diagnosis: the hottest pending agenda action kinds and the
+    per-link traffic leaders at abort time — enough to name a
+    retransmit/refresh feedback loop without re-running under a
+    debugger.
+    """
+
+    def __init__(
+        self,
+        max_events: int,
+        pending_actions: list[tuple[str, int]],
+        busiest_links: list[tuple[tuple[str, str], int]],
+    ) -> None:
+        actions = (
+            ", ".join(f"{name} x{count}" for name, count in pending_actions)
+            or "none"
+        )
+        links = (
+            ", ".join(
+                f"{src}->{dst} ({units} units)"
+                for (src, dst), units in busiest_links
+            )
+            or "none"
+        )
+        super().__init__(
+            f"no quiescence within max_events={max_events}; "
+            f"hottest pending actions: {actions}; "
+            f"busiest links: {links}"
+        )
+        self.pending_actions = pending_actions
+        self.busiest_links = busiest_links
 
 
 class Network:
@@ -39,6 +76,8 @@ class Network:
         validity: float | None = None,
         delta_t: float = 5.0,
         matching: str = "incremental",
+        faults: FaultPlan | None = None,
+        reliability: ReliabilityConfig | None = None,
     ) -> None:
         if matching not in ("incremental", "reference"):
             raise ValueError(f"unknown matching mode {matching!r}")
@@ -71,6 +110,19 @@ class Network:
         self._sorted_neighbors: dict[str, list[str]] = {
             node: sorted(adjacent) for node, adjacent in self._adjacency.items()
         }
+        # Fault lane: only built when something can actually go wrong.
+        # With no (truthy) plan and no reliability layer, send/unicast
+        # keep the historical inline path — byte-identical runs.
+        self.faults = faults if faults is not None else FaultPlan.none()
+        if faults is not None:
+            self.faults.validate_against(deployment)
+        self.reliability = reliability
+        self.down: set[str] = set()
+        self.transport: Transport | None = (
+            Transport(self, self.faults, reliability)
+            if (bool(self.faults) or reliability is not None)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -109,9 +161,18 @@ class Network:
     # transport
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, message: Message) -> None:
-        """One-hop transfer to a neighbour; charged per link."""
+        """One-hop transfer to a neighbour; charged per link.
+
+        The single interception point of the fault lane: with a fault
+        plan or reliability layer active, delivery is delegated to the
+        :class:`~repro.network.reliability.Transport`, which may drop,
+        delay or retransmit it.
+        """
         if dst not in self._adjacency[src]:
             raise ValueError(f"{src!r} and {dst!r} are not neighbours")
+        if self.transport is not None:
+            self.transport.send(src, dst, message)
+            return
         self.meter.record((src, dst), message)
         self.sim.schedule(
             self.latency, lambda: self.nodes[dst].receive(message, src)
@@ -123,10 +184,23 @@ class Network:
         Used by the centralized baseline.  Totals are exact (units x
         hops); delivery happens once at the destination after the
         path's cumulative latency — intermediate nodes only relay, they
-        never inspect centralized traffic.
+        never inspect centralized traffic.  Under a fault plan each hop
+        draws its own loss/delay, so longer paths are proportionally
+        more fragile — the centralized baseline pays for its star.
         """
         if src == dst:
             self.nodes[dst].receive(message, UNICAST_ORIGIN)
+            return
+        if self.transport is not None:
+            links: list[tuple[str, str]] = []
+            here = src
+            while here != dst:
+                step = self.routing.next_hop(here, dst)
+                links.append((here, step))
+                here = step
+            self.transport.unicast(
+                src, dst, UNICAST_ORIGIN, message, tuple(links)
+            )
             return
         hops = self.routing.distance(src, dst)
         first = self.routing.next_hop(src, dst)
@@ -214,9 +288,113 @@ class Network:
 
     def publish(self, node_id: str, event: SimpleEvent) -> None:
         """A locally attached sensor produced a reading."""
+        if self.down and node_id in self.down:
+            # A crashed broker's sensors keep sampling, but the readings
+            # die at the host — the publications the oracle fences out.
+            return
         self.nodes[node_id].publish(event)
 
     # ------------------------------------------------------------------
+    # broker outages (correlated failure domains)
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: str) -> None:
+        """Take a broker down: volatile store/matcher state is lost.
+
+        In-flight unacked transfers it originated are abandoned (its
+        send state is volatile too); messages addressed to it while down
+        are dropped by the transport at delivery time.
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id!r}")
+        if node_id in self.down:
+            return
+        self.down.add(node_id)
+        self.nodes[node_id].crash()
+        if self.transport is not None:
+            self.transport.abandon_from(node_id)
+
+    def recover_node(self, node_id: str) -> None:
+        """Bring a crashed broker back: it re-enters via the re-flood
+        path (local advertisements flood again, exactly like a churn
+        re-join); remote state returns with the next refresh round."""
+        if node_id not in self.down:
+            return
+        self.down.discard(node_id)
+        self.nodes[node_id].recover()
+
+    def schedule_outages(self, outages, offset: float = 0.0) -> int:
+        """Schedule correlated crash/recover edges from outage windows.
+
+        ``outages`` is an iterable of
+        :class:`~repro.network.faults.OutageWindow`; ``offset`` shifts
+        their program-clock times into this simulation's clock.  Edges
+        run at agenda priority 1, the churn tie-break: a publication
+        stamped at the exact crash instant still goes out first.
+        Returns the number of edges scheduled.
+        """
+        entries = []
+        for window in outages:
+            for node_id in sorted(window.domain):
+                entries.append(
+                    (
+                        offset + window.start,
+                        lambda n=node_id: self.crash_node(n),
+                    )
+                )
+                entries.append(
+                    (
+                        offset + window.end,
+                        lambda n=node_id: self.recover_node(n),
+                    )
+                )
+        self.sim.schedule_timeline(entries, priority=1)
+        return len(entries)
+
+    def schedule_refresh(self, times: Iterable[tuple[float, int]]) -> int:
+        """Schedule soft-state refresh rounds at ``(absolute time, epoch)``.
+
+        Each round asks every live broker (in sorted order, one agenda
+        entry per broker so draws interleave deterministically) to
+        re-flood its local advertisements, re-offer forwarded operators
+        and expire remote soft state that missed ``expiry_rounds``
+        consecutive rounds.  Requires the reliability layer; a finite
+        timeline, never self-rescheduling, so quiescence still exists.
+        """
+        if self.reliability is None:
+            raise ValueError("refresh requires a reliability config")
+        expiry_rounds = self.reliability.expiry_rounds
+        entries = []
+        for time, epoch in times:
+            for node_id in sorted(self.nodes):
+                entries.append(
+                    (
+                        time,
+                        lambda n=node_id, k=epoch: self._refresh_node(
+                            n, k, expiry_rounds
+                        ),
+                    )
+                )
+        self.sim.schedule_timeline(entries, priority=1)
+        return len(entries)
+
+    def _refresh_node(self, node_id: str, epoch: int, expiry_rounds: int) -> None:
+        if node_id in self.down:
+            return
+        self.nodes[node_id].refresh_soft_state(epoch, expiry_rounds)
+
+    # ------------------------------------------------------------------
     def run_to_quiescence(self, max_events: int | None = None) -> float:
-        """Drain the agenda (no timers persist — stores prune lazily)."""
-        return self.sim.run(max_events=max_events)
+        """Drain the agenda (no timers persist — stores prune lazily).
+
+        On budget exhaustion raises :class:`LivelockError` with the
+        hottest pending agenda actions and the busiest links — the
+        diagnosis a retransmit/refresh storm needs.
+        """
+        try:
+            return self.sim.run(max_events=max_events)
+        except AgendaBudgetExceeded:
+            raise LivelockError(
+                max_events if max_events is not None else 0,
+                self.sim.agenda_summary(),
+                self.meter.busiest_links(),
+            ) from None

@@ -149,6 +149,7 @@ class SubscriptionStore:
     ) -> None:
         self._records: list[StoredOperator] = []
         self._by_sensor: dict[str, list[StoredOperator]] = {}
+        self._op_ids: dict[str, int] = {}
         self._engine = engine
         self._seq_source = seq_source if seq_source is not None else SeqSource()
 
@@ -180,9 +181,19 @@ class SubscriptionStore:
             matcher,
         )
         insert_by_seq(self._records, record)
+        self._op_ids[operator.op_id] = self._op_ids.get(operator.op_id, 0) + 1
         for sensor_id in operator.sensors:
             self._by_sensor.setdefault(sensor_id, []).append(record)
         return record
+
+    def has_operator(self, op_id: str) -> bool:
+        """Whether a record with this operator id is currently stored.
+
+        The reliability layer's duplicate guard: a soft-state re-offer
+        (or a redundantly delivered copy) of an operator this store
+        already holds must not be re-handled.
+        """
+        return op_id in self._op_ids
 
     def remove_subscription(self, sub_id: str) -> list[StoredOperator]:
         """Drop every record of ``sub_id``; releases retained matchers."""
@@ -205,6 +216,12 @@ class SubscriptionStore:
                 self._by_sensor[sensor_id] = bucket
             else:
                 self._by_sensor.pop(sensor_id, None)
+        for record in removed:
+            count = self._op_ids.get(record.operator.op_id, 0) - 1
+            if count > 0:
+                self._op_ids[record.operator.op_id] = count
+            else:
+                self._op_ids.pop(record.operator.op_id, None)
         if self._engine is not None:
             for record in removed:
                 self._engine.release(record.operator)
@@ -290,10 +307,20 @@ class Node:
         self._sent: dict[EventKey, set[Hashable]] = {}
         self._adds_since_prune = 0
         self._seq_source = SeqSource()
-        # Reverse-path memory for query cancellation: the neighbours
-        # this node forwarded each subscription's operators to.  An
-        # UnsubscribeMessage retraces exactly these edges.
-        self._forwarded_subs: dict[str, set[str]] = {}
+        # Reverse-path memory for query cancellation and soft-state
+        # refresh: per subscription, the exact operator pieces this node
+        # forwarded to each neighbour.  An UnsubscribeMessage retraces
+        # these edges; a refresh round re-offers the pieces.
+        self._forwarded_subs: dict[
+            str, dict[str, dict[str, CorrelationOperator]]
+        ] = {}
+        # Soft-state clock: last refresh epoch seen per sensor (0 =
+        # only the setup flood).  Dedupes refresh floods and drives
+        # advertisement expiry.
+        self._ad_epochs: dict[str, int] = {}
+        # Local advertisements parked during a broker outage; recovery
+        # re-attaches them through the re-flood path.
+        self._crashed_locals: list[Advertisement] = []
 
     # ------------------------------------------------------------------
     # plumbing
@@ -315,12 +342,23 @@ class Node:
         if isinstance(message, EventMessage):
             self.handle_event(message.event, origin, message.streams)
         elif isinstance(message, OperatorMessage):
+            if self.network.reliability is not None and self.knows_operator(
+                message.operator.op_id
+            ):
+                # Soft-state re-offer (or redundant copy) of an operator
+                # already stored here: re-handling would duplicate
+                # records and forwarding — duplicates stay invisible.
+                return
             self._seq_source.begin_arrival()
             self.handle_operator(message.operator, origin)
         elif isinstance(message, UnsubscribeMessage):
             self.handle_unsubscribe(message.subscription_id, origin)
         elif isinstance(message, AdvertisementMessage):
-            if message.retract:
+            if message.refresh_epoch is not None and not message.retract:
+                self.handle_refresh_advertisement(
+                    message.advertisement, origin, message.refresh_epoch
+                )
+            elif message.retract:
                 self.handle_retraction(message.advertisement, origin)
             else:
                 self.handle_advertisement(message.advertisement, origin)
@@ -352,10 +390,14 @@ class Node:
     # sending helpers
     # ------------------------------------------------------------------
     def send_operator(self, neighbor: str, operator: CorrelationOperator) -> None:
-        self._forwarded_subs.setdefault(operator.subscription_id, set()).add(
-            neighbor
-        )
+        self._forwarded_subs.setdefault(
+            operator.subscription_id, {}
+        ).setdefault(neighbor, {})[operator.op_id] = operator
         self.network.send(self.node_id, neighbor, OperatorMessage(operator))
+
+    def knows_operator(self, op_id: str) -> bool:
+        """Whether any store currently holds a record of ``op_id``."""
+        return any(store.has_operator(op_id) for store in self.stores.values())
 
     def send_event(
         self, neighbor: str, event: SimpleEvent, streams: tuple[str, ...] = ()
@@ -631,6 +673,124 @@ class Node:
         the store's listener protocol)."""
         for key in self.store.fence_sensor(sensor_id, self.now):
             self._sent.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # soft state & crash semantics (reliability layer)
+    # ------------------------------------------------------------------
+    def handle_refresh_advertisement(
+        self, advertisement: Advertisement, origin: str, epoch: int
+    ) -> None:
+        """A soft-state refresh copy of an advertisement arrived.
+
+        Refresh floods dedupe on the per-sensor epoch clock rather than
+        on the advertisement table: the table would stop the flood at
+        the first node that still knows the sensor, and the whole point
+        of a refresh round is to get *past* such nodes to a recovered,
+        state-less broker behind them.  Each round therefore crosses
+        every link once per sensor — the steady-state overhead
+        ``refresh_units`` meters.
+        """
+        sensor_id = advertisement.sensor_id
+        if self._ad_epochs.get(sensor_id, 0) >= epoch:
+            return
+        self._ad_epochs[sensor_id] = epoch
+        self.store.unfence_sensor(sensor_id)
+        self.ads.add(origin, advertisement)
+        for neighbor in self.neighbors:
+            if neighbor != origin:
+                self.network.send(
+                    self.node_id,
+                    neighbor,
+                    AdvertisementMessage(advertisement, refresh_epoch=epoch),
+                )
+
+    def refresh_soft_state(self, epoch: int, expiry_rounds: int) -> None:
+        """One refresh round at this node (reliability layer only).
+
+        Expires remote advertisements that missed ``expiry_rounds``
+        consecutive rounds, re-floods the local ones tagged with this
+        epoch, and re-offers every operator piece previously forwarded
+        (receivers that still hold a piece ignore the copy; a recovered
+        broker re-learns it).  This is how routing and subscription
+        state heals after losses and outages.
+        """
+        expired = [
+            sensor_id
+            for origin in sorted(self.ads.origins())
+            if origin != LOCAL
+            for sensor_id in sorted(self.ads.from_origin(origin))
+            if self._ad_epochs.get(sensor_id, 0) < epoch - expiry_rounds
+        ]
+        for sensor_id in expired:
+            self.ads.remove(sensor_id)
+            self._ad_epochs.pop(sensor_id, None)
+            self.fence_sensor_state(sensor_id)
+        for sensor_id, advertisement in sorted(
+            self.ads.from_origin(LOCAL).items()
+        ):
+            self._ad_epochs[sensor_id] = epoch
+            for neighbor in self.neighbors:
+                self.network.send(
+                    self.node_id,
+                    neighbor,
+                    AdvertisementMessage(advertisement, refresh_epoch=epoch),
+                )
+        for sub_id in sorted(self._forwarded_subs):
+            per_neighbor = self._forwarded_subs[sub_id]
+            for neighbor in sorted(per_neighbor):
+                pieces = per_neighbor[neighbor]
+                for op_id in sorted(pieces):
+                    self.network.send(
+                        self.node_id,
+                        neighbor,
+                        OperatorMessage(pieces[op_id], refresh_epoch=epoch),
+                    )
+
+    def crash(self) -> None:
+        """Broker failure: all volatile state is lost.
+
+        Advertisement table, subscription stores, event store, matcher
+        state, forwarded-to flags and reverse-path memory are gone —
+        exactly what a process crash loses.  Only the fact of which
+        sensors are physically attached survives (the hardware is still
+        wired); recovery re-advertises them through the normal re-flood
+        path.
+        """
+        self._crashed_locals = [
+            ad for _, ad in sorted(self.ads.from_origin(LOCAL).items())
+        ]
+        from .eventstore import EventStore  # local import avoids cycles
+
+        self.ads = AdvertisementTable()
+        self.stores = {}
+        self.local_subscriptions = []
+        self._local_by_sensor = {}
+        self.store = EventStore(self.network.validity)
+        self.matching = (
+            MatchingEngine(self.store)
+            if self.network.matching == "incremental"
+            else None
+        )
+        self._sent = {}
+        self._adds_since_prune = 0
+        self._seq_source = SeqSource()
+        self._forwarded_subs = {}
+        self._ad_epochs = {}
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Broker recovery: re-enter through the re-flood path.
+
+        Local sensors re-advertise exactly like a churn re-join
+        (:meth:`attach_sensor`); remote advertisements and forwarded
+        operators return with the neighbours' next refresh round.
+        """
+        for advertisement in self._crashed_locals:
+            self.attach_sensor(advertisement)
+        self._crashed_locals = []
+
+    def on_crash(self) -> None:
+        """Subclass hook: drop approach-specific volatile state."""
 
     def handle_operator(self, operator: CorrelationOperator, origin: str) -> None:
         raise NotImplementedError

@@ -1,0 +1,327 @@
+"""Unreliable transport lane + opt-in hop-by-hop reliability.
+
+When a :class:`~repro.network.faults.FaultPlan` is active (or a
+:class:`ReliabilityConfig` is passed), :meth:`Network.send` /
+:meth:`Network.unicast` delegate to one :class:`Transport` instead of
+delivering inline.  The transport
+
+* draws per-link drop/delay/jitter from a dedicated simulator stream
+  (``faults:<plan.seed>``, derived via :mod:`repro.seeding` — runs stay
+  PYTHONHASHSEED-independent and sharded == serial);
+* discards deliveries addressed to a crashed broker at fire time;
+* and, with reliability enabled, runs **acked transfers** for control
+  traffic (advertisements, operators, unsubscribes): each transmission
+  is acknowledged hop-by-hop; a missing ack retransmits after
+  ``ack_timeout * backoff**attempt`` up to ``max_retries`` times, then
+  the transfer is abandoned.  Retransmitted copies bill the meter like
+  the original *plus* ``retransmission_units`` — the reliability
+  overhead figure 18 plots.  Receivers deduplicate by transfer id, so
+  an at-least-once wire yields at-most-once delivery and duplicate
+  deliveries stay invisible to the protocol layer.  Event messages are
+  never acked: recall-vs-loss is the measured trade-off.
+
+Acks travel the reverse link under the same fault model but are *free*
+(no meter charge): the paper's unit accounting counts data-plane
+payloads, and an ack is a constant-size control frame.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .messages import (
+    AdvertisementMessage,
+    Message,
+    OperatorMessage,
+    UnsubscribeMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultPlan, LinkFault
+    from .network import Network
+
+LinkPath = tuple[tuple[str, str], ...]
+"""The directed links one transmission crosses, in order (one entry for
+a neighbour send, the whole route for the centralized unicast)."""
+
+
+def is_control(message: Message) -> bool:
+    """Whether the reliability layer covers this message kind."""
+    return isinstance(
+        message, (AdvertisementMessage, OperatorMessage, UnsubscribeMessage)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityConfig:
+    """Opt-in reliability knobs for control traffic + soft state.
+
+    ``ack_timeout``/``backoff``/``max_retries`` parameterise the
+    retransmission schedule (attempt ``k`` waits
+    ``ack_timeout * backoff**k``); ``backoff >= 1`` guarantees retries
+    never schedule into the past.  ``refresh_interval`` is the period of
+    the soft-state refresh rounds (advertisement re-floods and
+    subscription re-sends) and ``expiry_rounds`` how many missed rounds
+    expire a remote advertisement — the soft-state lifetime.
+    """
+
+    ack_timeout: float = 1.0
+    backoff: float = 2.0
+    max_retries: int = 4
+    refresh_interval: float = 60.0
+    expiry_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.ack_timeout) or self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if math.isnan(self.backoff) or self.backoff < 1:
+            raise ValueError(
+                "backoff must be >= 1 (retries must never schedule "
+                "in the past)"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if math.isnan(self.refresh_interval) or self.refresh_interval <= 0:
+            raise ValueError("refresh_interval must be positive")
+        if self.expiry_rounds < 1:
+            raise ValueError("expiry_rounds must be >= 1")
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retransmission number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return self.ack_timeout * self.backoff**attempt
+
+
+class _Transfer:
+    """One acked control transfer (possibly multi-hop for unicast)."""
+
+    __slots__ = (
+        "tid",
+        "src",
+        "dst",
+        "origin",
+        "message",
+        "links",
+        "hops",
+        "attempts",
+        "acked",
+        "timer",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        src: str,
+        dst: str,
+        origin: str,
+        message: Message,
+        links: LinkPath,
+        hops: int,
+    ) -> None:
+        self.tid = tid
+        self.src = src
+        self.dst = dst
+        self.origin = origin
+        self.message = message
+        self.links = links
+        self.hops = hops
+        self.attempts = 0
+        self.acked = False
+        self.timer = None
+
+
+class Transport:
+    """The fault-and-reliability lane of one :class:`Network`.
+
+    Built only when a truthy plan or a reliability config is present;
+    without it ``Network.send`` keeps its historical inline path, byte
+    for byte.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        plan: "FaultPlan",
+        reliability: ReliabilityConfig | None,
+    ) -> None:
+        self.network = network
+        self.plan = plan
+        self.reliability = reliability
+        self.rng = network.sim.rng(f"faults:{plan.seed}")
+        self._overrides = plan.link_faults()
+        self._default = plan.default
+        self._tid = itertools.count()
+        self._live: dict[int, _Transfer] = {}
+        self._by_src: dict[str, set[int]] = {}
+        self._delivered: set[int] = set()
+        self.abandoned_transfers = 0
+
+    # ------------------------------------------------------------------
+    # fault draws
+    # ------------------------------------------------------------------
+    def _fault(self, link: tuple[str, str]) -> "LinkFault":
+        return self._overrides.get(link, self._default)
+
+    def _link_delay(self, fault: "LinkFault") -> float:
+        delay = self.network.latency + fault.delay
+        if fault.jitter:
+            delay += fault.jitter * float(self.rng.random())
+        return delay
+
+    def _transit(self, links: LinkPath) -> float | None:
+        """Total transit time over ``links``, or None when dropped.
+
+        One drop draw per link; the walk stops at the first loss (no
+        further draws — deterministic, since the agenda serialises every
+        draw of the single stream).
+        """
+        total = 0.0
+        for link in links:
+            fault = self._fault(link)
+            if fault.drop and float(self.rng.random()) < fault.drop:
+                return None
+            total += self._link_delay(fault)
+        return total
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """One-hop neighbour transfer through the fault lane."""
+        self._transmit(src, dst, src, message, ((src, dst),), hops=1)
+
+    def unicast(
+        self,
+        src: str,
+        dst: str,
+        origin: str,
+        message: Message,
+        links: LinkPath,
+    ) -> None:
+        """Multi-hop transfer (centralized baseline) through the lane.
+
+        The meter keeps the historical accounting — units x hops,
+        attributed to the first link; loss and delay are drawn per hop.
+        With reliability, the transfer is acked end to end and a
+        retransmission re-pays the whole path.
+        """
+        self._transmit(src, dst, origin, message, links, hops=len(links))
+
+    def _transmit(
+        self,
+        src: str,
+        dst: str,
+        origin: str,
+        message: Message,
+        links: LinkPath,
+        hops: int,
+    ) -> None:
+        if self.reliability is not None and is_control(message):
+            transfer = _Transfer(
+                next(self._tid), src, dst, origin, message, links, hops
+            )
+            self._live[transfer.tid] = transfer
+            self._by_src.setdefault(src, set()).add(transfer.tid)
+            self._attempt(transfer)
+            return
+        meter = self.network.meter
+        meter.record(links[0], message, hops=hops)
+        transit = self._transit(links)
+        if transit is None or dst in self.network.down:
+            meter.record_drop()
+            return
+        self.network.sim.schedule(
+            transit, lambda: self._deliver(dst, message, origin)
+        )
+
+    def _deliver(self, dst: str, message: Message, origin: str) -> None:
+        if dst in self.network.down:
+            self.network.meter.record_drop()
+            return
+        self.network.nodes[dst].receive(message, origin)
+
+    # ------------------------------------------------------------------
+    # acked transfers
+    # ------------------------------------------------------------------
+    def _attempt(self, transfer: _Transfer) -> None:
+        retransmission = transfer.attempts > 0
+        transfer.attempts += 1
+        self.network.meter.record(
+            transfer.links[0],
+            transfer.message,
+            hops=transfer.hops,
+            retransmission=retransmission,
+        )
+        transit = self._transit(transfer.links)
+        if transit is None:
+            self.network.meter.record_drop()
+        else:
+            self.network.sim.schedule(transit, lambda: self._arrive(transfer))
+        cfg = self.reliability
+        assert cfg is not None
+        transfer.timer = self.network.sim.schedule(
+            cfg.retry_delay(transfer.attempts - 1),
+            lambda: self._timeout(transfer),
+        )
+
+    def _arrive(self, transfer: _Transfer) -> None:
+        if transfer.dst in self.network.down:
+            # Lost at a crashed broker: no ack, so a later attempt may
+            # land after recovery — control traffic heals across
+            # outages bounded only by the retry budget.
+            self.network.meter.record_drop()
+            return
+        if transfer.tid not in self._delivered:
+            self._delivered.add(transfer.tid)
+            self.network.nodes[transfer.dst].receive(
+                transfer.message, transfer.origin
+            )
+        reverse: LinkPath = tuple(
+            (dst, src) for src, dst in reversed(transfer.links)
+        )
+        transit = self._transit(reverse)
+        if transit is None:
+            return  # the ack was lost; the timer retransmits
+        self.network.sim.schedule(transit, lambda: self._acked(transfer))
+
+    def _acked(self, transfer: _Transfer) -> None:
+        if transfer.acked or transfer.tid not in self._live:
+            return
+        transfer.acked = True
+        if transfer.timer is not None:
+            transfer.timer.cancel()
+        self._finish(transfer)
+
+    def _timeout(self, transfer: _Transfer) -> None:
+        if transfer.acked or transfer.tid not in self._live:
+            return
+        cfg = self.reliability
+        assert cfg is not None
+        if transfer.attempts > cfg.max_retries:
+            self.abandoned_transfers += 1
+            self._finish(transfer)
+            return
+        self._attempt(transfer)
+
+    def _finish(self, transfer: _Transfer) -> None:
+        self._live.pop(transfer.tid, None)
+        self._delivered.discard(transfer.tid)
+        srcs = self._by_src.get(transfer.src)
+        if srcs is not None:
+            srcs.discard(transfer.tid)
+
+    def abandon_from(self, node_id: str) -> int:
+        """Drop every live transfer originated by a crashing broker.
+
+        Its volatile send state dies with it; returns the count.
+        """
+        tids = sorted(self._by_src.pop(node_id, ()))
+        for tid in tids:
+            transfer = self._live.pop(tid, None)
+            if transfer is not None and transfer.timer is not None:
+                transfer.timer.cancel()
+        return len(tids)

@@ -5,6 +5,6 @@ same message-driven code, executed under virtual time with seeded
 randomness instead of on 30-VMs-per-quadcore hardware.
 """
 
-from .core import Handle, SimulationError, Simulator
+from .core import AgendaBudgetExceeded, Handle, SimulationError, Simulator
 
-__all__ = ["Handle", "SimulationError", "Simulator"]
+__all__ = ["AgendaBudgetExceeded", "Handle", "SimulationError", "Simulator"]

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable, Optional
 
@@ -35,6 +37,16 @@ ProcessGenerator = Generator[float, None, None]
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the kernel (e.g. scheduling in the past)."""
+
+
+class AgendaBudgetExceeded(SimulationError):
+    """:meth:`Simulator.run` exhausted its ``max_events`` budget.
+
+    Distinguishable from plain misuse so callers holding diagnostic
+    context (the network's livelock report) can catch precisely this
+    case; existing handlers catching :class:`SimulationError` keep
+    working.
+    """
 
 
 @dataclass(order=True)
@@ -125,6 +137,8 @@ class Simulator:
     # ------------------------------------------------------------------
     def at(self, time: float, action: Action, priority: int = 0) -> Handle:
         """Run ``action`` at absolute virtual ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at time NaN")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time:g}; now is {self._now:g}"
@@ -135,6 +149,8 @@ class Simulator:
 
     def schedule(self, delay: float, action: Action, priority: int = 0) -> Handle:
         """Run ``action`` after ``delay`` units of virtual time."""
+        if math.isnan(delay):
+            raise SimulationError("delay is NaN")
         if delay < 0:
             raise SimulationError(f"negative delay {delay:g}")
         return self.at(self._now + delay, action, priority)
@@ -184,9 +200,21 @@ class Simulator:
         ``until`` stops the clock at an absolute time (inclusive of the
         events scheduled exactly there); ``max_events`` guards against
         runaways in tests.
+
+        Virtual time is monotone: ``until`` in the past (or NaN) is a
+        programming error and raises instead of silently not running —
+        the silent no-op hid reversed-clock bugs in replay harnesses.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if until is not None:
+            if math.isnan(until):
+                raise SimulationError("run(until=NaN)")
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run until {until:g}; now is {self._now:g} "
+                    "(virtual time is monotone)"
+                )
         self._running = True
         try:
             count = 0
@@ -202,7 +230,7 @@ class Simulator:
                 self.processed_events += 1
                 count += 1
                 if max_events is not None and count >= max_events:
-                    raise SimulationError(
+                    raise AgendaBudgetExceeded(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
             if until is not None and self._now < until:
@@ -227,6 +255,22 @@ class Simulator:
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) entries still queued."""
         return sum(1 for e in self._agenda if not e.cancelled)
+
+    def agenda_summary(self, n: int = 5) -> list[tuple[str, int]]:
+        """The ``n`` hottest pending action kinds, by callable name.
+
+        Diagnostic input for livelock reports: when a budget run aborts,
+        the distribution of what is still queued (retransmit timers,
+        refresh floods, delivery lambdas) names the feedback loop.
+        """
+        kinds: Counter[str] = Counter()
+        for entry in self._agenda:
+            if entry.cancelled:
+                continue
+            action = entry.action
+            label = getattr(action, "__qualname__", None) or type(action).__name__
+            kinds[label] += 1
+        return kinds.most_common(n)
 
     def drain(self, actions: Iterable[Action]) -> None:
         """Schedule several immediate actions and run them to quiescence."""

@@ -47,6 +47,8 @@ import numpy as np
 
 from ..model.events import SimpleEvent
 from ..model.subscriptions import Subscription
+from ..network.faults import FaultPlan
+from ..network.reliability import ReliabilityConfig
 from ..network.topology import Deployment
 from ..seeding import derive_seed
 from .sensorscope import (
@@ -205,7 +207,12 @@ class WorkloadProgram:
     * ``lifecycle`` appends the Poisson admit/retire workload, drawing
       its queries from the generated pool *after* the static prefix;
     * ``queries`` appends explicitly authored admissions (fluent
-      :class:`repro.api.Query` builders or model subscriptions).
+      :class:`repro.api.Query` builders or model subscriptions);
+    * ``faults`` runs the whole program over an unreliable transport
+      (:class:`~repro.network.faults.FaultPlan`: link loss/delay plus
+      correlated broker outages, compiled into scheduled crash/recover
+      edges); ``reliability`` opts the brokers into the ack/retransmit
+      and soft-state-refresh layer.
 
     Programs are frozen, hashable and picklable — a program plus a
     deployment seed *is* the experiment, which is what makes points
@@ -219,11 +226,22 @@ class WorkloadProgram:
     lifecycle: QueryLifecycleConfig | None = None
     static_prefix: int | None = None
     queries: tuple[ProgramQuery, ...] = ()
+    faults: FaultPlan | None = None
+    reliability: ReliabilityConfig | None = None
     replay_start: float = REPLAY_START
 
     def __post_init__(self) -> None:
         if self.churn is not None and self.dynamic is None:
             raise ValueError("churn requires a dynamic replay")
+        if (
+            self.churn is not None
+            and self.faults is not None
+            and self.faults.outages
+        ):
+            raise ValueError(
+                "sensor churn and broker outages cannot be combined yet: "
+                "their oracle fences over the same sensors would overlap"
+            )
         if self.static_prefix is not None and not (
             0 <= self.static_prefix <= self.subscriptions.n_subscriptions
         ):
@@ -307,6 +325,8 @@ class WorkloadProgram:
         program (``static_prefix`` aside); passing a foreign source is
         rejected rather than silently compiling the wrong workload.
         """
+        if self.faults is not None:
+            self.faults.validate_against(deployment)
         if source is None:
             source = self.source(deployment)
         elif not source.compatible_with(self, deployment):
@@ -355,6 +375,8 @@ class WorkloadProgram:
             admissions=tuple(admissions),
             replay_start=self.replay_start,
             span=source.span,
+            faults=self.faults,
+            reliability=self.reliability,
         )
 
     def _explicit_admissions(self, deployment: Deployment) -> list["Admission"]:
@@ -422,10 +444,15 @@ class ProgramSource:
     def compatible_with(
         self, program: WorkloadProgram, deployment: Deployment
     ) -> bool:
-        """Whether this source can compile ``program`` (prefix aside)."""
+        """Whether this source can compile ``program`` (prefix aside).
+
+        The fault plan and reliability config are neutralised too: they
+        shape execution, never the generated replay/pool/edges, so one
+        source serves a whole loss sweep.
+        """
+        neutral = dict(static_prefix=None, faults=None, reliability=None)
         return (
-            replace(self.program, static_prefix=None)
-            == replace(program, static_prefix=None)
+            replace(self.program, **neutral) == replace(program, **neutral)
             and self.deployment_fingerprint == deployment_fingerprint(deployment)
         )
 
@@ -466,6 +493,8 @@ class CompiledProgram:
     admissions: tuple[Admission, ...]
     replay_start: float
     span: float
+    faults: FaultPlan | None = None
+    reliability: ReliabilityConfig | None = None
 
     @property
     def setup(self) -> tuple[Admission, ...]:
@@ -499,6 +528,25 @@ class CompiledProgram:
             a.sub_id: a.retire for a in self.admissions if a.retire is not None
         }
 
+    @property
+    def outage_fences(self) -> tuple[tuple[str, float, float], ...]:
+        """Oracle outage fences on the simulation clock.
+
+        ``(sensor_id, down_from, down_until)`` for every sensor hosted
+        on a broker inside an outage domain: its publications inside the
+        half-open window ``(down_from, down_until]`` die at the crashed
+        host, so the oracle excludes them — the exact analogue of churn
+        fences, from the *scheduled* windows, identical per approach.
+        """
+        if self.faults is None or not self.faults.outages:
+            return ()
+        return tuple(
+            (sensor_id, self.replay_start + start, self.replay_start + end)
+            for sensor_id, start, end in self.faults.sensor_down_windows(
+                self.deployment
+            )
+        )
+
     def truth(
         self,
         collect_participants: bool = True,
@@ -521,6 +569,7 @@ class CompiledProgram:
             churn=self.churn,
             cancellations=self.cancellations or None,
             activations=self.activations or None,
+            outages=self.outage_fences or None,
         )
 
 
@@ -578,6 +627,8 @@ def execute_program(
         matching=matching,
         latency=latency,
         delta_t=delta_t,
+        faults=compiled.faults,
+        reliability=compiled.reliability,
     )
     after_ads = session.traffic.snapshot()
 
@@ -596,6 +647,21 @@ def execute_program(
     session.ingest_events(compiled.events)
     if compiled.churn is not None:
         session.network.schedule_churn(compiled.churn)
+    if compiled.faults is not None and compiled.faults.outages:
+        session.network.schedule_outages(
+            compiled.faults.outages, offset=compiled.replay_start
+        )
+    if compiled.reliability is not None:
+        # Soft-state refresh rounds across the replay span: a finite
+        # timeline (never self-rescheduling), so quiescence survives.
+        interval = compiled.reliability.refresh_interval
+        rounds = []
+        epoch = 1
+        while epoch * interval <= compiled.span:
+            rounds.append((compiled.replay_start + epoch * interval, epoch))
+            epoch += 1
+        if rounds:
+            session.network.schedule_refresh(rounds)
 
     counters = {"admitted": 0, "retired": 0}
 

@@ -14,6 +14,8 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
+from ..network.faults import FaultPlan, LinkFault
+from ..network.reliability import ReliabilityConfig
 from ..network.topology import (
     Deployment,
     large_network,
@@ -76,9 +78,11 @@ class Scenario:
     ``churn`` (requires ``dynamic``) adds the leave/rejoin schedule the
     network layer turns into retraction floods and re-floods;
     ``lifecycle`` adds the Poisson query admit/retire workload on top
-    of the measured static prefix.  All are frozen config dataclasses,
-    so scenarios stay hashable and picklable for the sharded runner's
-    memo keys.
+    of the measured static prefix; ``faults``/``reliability`` run the
+    whole scenario over the seeded unreliable transport with the
+    ack/refresh layer optionally enabled.  All are frozen config
+    dataclasses, so scenarios stay hashable and picklable for the
+    sharded runner's memo keys.
     """
 
     key: str
@@ -92,6 +96,8 @@ class Scenario:
     dynamic: DynamicReplayConfig | None = None
     churn: ChurnConfig | None = None
     lifecycle: QueryLifecycleConfig | None = None
+    faults: FaultPlan | None = None
+    reliability: ReliabilityConfig | None = None
     delta_t: float = 5.0
     seed: int = 0
 
@@ -129,6 +135,8 @@ class Scenario:
             dynamic=self.dynamic,
             churn=self.churn,
             lifecycle=self.lifecycle,
+            faults=self.faults,
+            reliability=self.reliability,
         )
 
     def with_seed(self, seed: int) -> "Scenario":
@@ -204,7 +212,34 @@ removal, ``UnsubscribeMessage`` teardown traffic, per-lifetime oracle
 fences) is visible at figure scale.  Figures 15-16 sweep the admit
 rate over this scenario."""
 
+FAULTS = Scenario(
+    key="faults",
+    title="Unreliable transport (60 nodes, 10% link loss, ack/retransmit "
+    "+ soft-state refresh, all five approaches)",
+    deployment_factory=small_scale,
+    paper_subscription_counts=(100,),
+    attrs_min=3,
+    attrs_max=5,
+    include_centralized=True,
+    faults=FaultPlan(default=LinkFault(drop=0.1), seed=97),
+    reliability=ReliabilityConfig(),
+)
+"""The robustness family: the small-scale deployment where every
+directed link drops 10% of transmissions.  The reliability layer acks
+and retransmits control traffic and refreshes soft state periodically;
+event traffic rides the lossy links unprotected, so recall measures
+what the loss actually costs each approach.  Figures 17-18 sweep the
+loss rate (reliability on/off) over this scenario."""
+
 ALL_SCENARIOS: dict[str, Scenario] = {
     s.key: s
-    for s in (SMALL, MEDIUM, LARGE_NETWORK, LARGE_SOURCES, CHURN, ADMIT_RETIRE)
+    for s in (
+        SMALL,
+        MEDIUM,
+        LARGE_NETWORK,
+        LARGE_SOURCES,
+        CHURN,
+        ADMIT_RETIRE,
+        FAULTS,
+    )
 }

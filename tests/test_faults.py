@@ -1,0 +1,303 @@
+"""Seeded transport fault injection — the :class:`FaultPlan` lane.
+
+Four guarantee families:
+
+* **plan semantics** — validation, truthiness, per-link lookup,
+  hashability (plans ride inside scenario memo keys);
+* **seeded determinism** — the same plan produces bit-identical series,
+  a different fault seed genuinely changes the run;
+* **null-fault bit-identity** — ``FaultPlan.none()`` is machine-checked
+  identical to running with no plan at all, across all five approaches
+  and both matching modes (the tentpole acceptance criterion);
+* **crash/recover + livelock diagnosis** — broker outages lose volatile
+  state and re-enter via the re-flood path; budget exhaustion names the
+  pending loop and the busiest links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from deployments import line_deployment
+
+from repro.experiments.runner import run_program, run_series
+from repro.metrics.oracle import compute_truth
+from repro.network.faults import FaultPlan, LinkFault, OutageWindow
+from repro.network.network import LivelockError, Network
+from repro.network.reliability import ReliabilityConfig
+from repro.network.topology import build_deployment
+from repro.protocols.registry import all_approaches
+from repro.sim import Simulator
+from repro.workload.program import REPLAY_START, WorkloadProgram
+from repro.workload.scenarios import Scenario
+from repro.workload.sensorscope import (
+    ChurnConfig,
+    DynamicReplayConfig,
+    ReplayConfig,
+    build_replay,
+)
+from repro.workload.subscriptions import (
+    SubscriptionWorkloadConfig,
+    generate_subscriptions,
+)
+
+
+def tiny_faults_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        key="tiny-faults",
+        title="tiny faulty scenario",
+        deployment_factory=lambda seed: build_deployment(24, 3, seed=seed),
+        paper_subscription_counts=(60,),
+        attrs_min=3,
+        attrs_max=5,
+        faults=FaultPlan(default=LinkFault(drop=0.1, jitter=0.02), seed=5),
+        reliability=ReliabilityConfig(),
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+class TestPlanSemantics:
+    def test_link_fault_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="drop"):
+            LinkFault(drop=-0.1)
+        with pytest.raises(ValueError, match="drop"):
+            LinkFault(drop=float("nan"))
+        with pytest.raises(ValueError, match="probability"):
+            LinkFault(drop=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            LinkFault(jitter=-1.0)
+
+    def test_outage_window_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="domain"):
+            OutageWindow(domain=(), start=0.0, end=1.0)
+        with pytest.raises(ValueError, match="end after"):
+            OutageWindow(domain=("hub",), start=5.0, end=5.0)
+        with pytest.raises(ValueError, match="NaN"):
+            OutageWindow(domain=("hub",), start=float("nan"), end=1.0)
+        with pytest.raises(ValueError, match="before program t=0"):
+            OutageWindow(domain=("hub",), start=-1.0, end=1.0)
+
+    def test_truthiness(self):
+        assert not FaultPlan.none()
+        assert not FaultPlan(links=(("a", "b", LinkFault()),))
+        assert FaultPlan(default=LinkFault(drop=0.1))
+        assert FaultPlan(links=(("a", "b", LinkFault(delay=0.5)),))
+        assert FaultPlan(outages=(OutageWindow(("hub",), 0.0, 1.0),))
+
+    def test_per_link_lookup_falls_back_to_default(self):
+        bad = LinkFault(drop=0.5)
+        plan = FaultPlan(
+            default=LinkFault(drop=0.01), links=(("u1", "hub", bad),)
+        )
+        assert plan.link_fault("u1", "hub") is bad
+        # Directed: the reverse link keeps the default.
+        assert plan.link_fault("hub", "u1") == LinkFault(drop=0.01)
+        assert plan.link_faults() == {("u1", "hub"): bad}
+
+    def test_plans_are_hashable_memo_keys(self):
+        a = FaultPlan(default=LinkFault(drop=0.1), seed=97)
+        b = FaultPlan(default=LinkFault(drop=0.1), seed=97)
+        assert a == b and hash(a) == hash(b)
+        assert {a: "x"}[b] == "x"
+        assert hash(replace(a, seed=98)) != hash(a) or replace(a, seed=98) != a
+
+    def test_validate_against_rejects_unknown_domain_nodes(self):
+        deployment = line_deployment()
+        plan = FaultPlan(outages=(OutageWindow(("nowhere",), 0.0, 1.0),))
+        with pytest.raises(ValueError, match="nowhere"):
+            plan.validate_against(deployment)
+        FaultPlan(outages=(OutageWindow(("hub",), 0.0, 1.0),)).validate_against(
+            deployment
+        )
+
+    def test_sensor_down_windows_maps_hosted_sensors(self):
+        deployment = line_deployment()
+        plan = FaultPlan(
+            outages=(OutageWindow(("s_a", "s_b"), 10.0, 20.0),)
+        )
+        assert plan.sensor_down_windows(deployment) == (
+            ("a", 10.0, 20.0),
+            ("b", 10.0, 20.0),
+        )
+
+    def test_churn_and_outages_cannot_combine(self):
+        """Their oracle fences would overlap on the same sensors — the
+        program rejects the combination instead of mis-crediting."""
+        with pytest.raises(ValueError, match="churn"):
+            WorkloadProgram(
+                subscriptions=SubscriptionWorkloadConfig(n_subscriptions=5),
+                dynamic=DynamicReplayConfig(days=1),
+                churn=ChurnConfig(cycle_fraction=0.3),
+                faults=FaultPlan(
+                    outages=(OutageWindow(("hub",), 10.0, 20.0),)
+                ),
+            )
+
+    def test_oracle_outage_fence_only_removes_truth(self):
+        deployment = line_deployment()
+        replay = build_replay(deployment, ReplayConfig(rounds=6, seed=3))
+        workload = generate_subscriptions(
+            deployment,
+            replay.medians,
+            SubscriptionWorkloadConfig(
+                n_subscriptions=5, attrs_min=2, attrs_max=3, seed=2
+            ),
+            spreads=replay.spreads,
+        )
+        subs = [p.subscription for p in workload]
+        events = replay.shifted(REPLAY_START)
+        span = events[-1].timestamp - REPLAY_START
+        fences = [("a", REPLAY_START + span * 0.25, REPLAY_START + span * 0.75)]
+        fenced = compute_truth(subs, deployment, events, outages=fences)
+        full = compute_truth(subs, deployment, events)
+        for sub_id, truth in fenced.items():
+            assert truth.triggers <= full[sub_id].triggers, sub_id
+            assert truth.participants <= full[sub_id].participants, sub_id
+        # The fence genuinely bites on this workload: sensor `a` events
+        # inside the window exist, so some truth disappears.
+        assert any(
+            fenced[sub_id].triggers < full[sub_id].triggers for sub_id in full
+        )
+
+
+class TestSeededDeterminism:
+    def test_same_plan_same_series(self):
+        scenario = tiny_faults_scenario()
+        approaches = {
+            k: v for k, v in all_approaches().items() if k in ("naive", "fsf")
+        }
+        a = run_series(scenario, approaches, scale=0.1)
+        b = run_series(scenario, approaches, scale=0.1)
+        assert a.results == b.results
+        # The plan genuinely bit: losses occurred and were metered.
+        assert all(
+            r.dropped_messages > 0 for runs in a.results.values() for r in runs
+        )
+
+    def test_different_fault_seed_changes_the_run(self):
+        scenario = tiny_faults_scenario()
+        reseeded = replace(
+            scenario, faults=replace(scenario.faults, seed=1234)
+        )
+        approaches = {"naive": all_approaches()["naive"]}
+        a = run_series(scenario, approaches, scale=0.1)
+        b = run_series(reseeded, approaches, scale=0.1)
+        assert a.results != b.results
+
+
+class TestNullFaultBitIdentity:
+    """``FaultPlan.none()`` must be indistinguishable from no plan."""
+
+    @pytest.mark.parametrize("matching", ["incremental", "reference"])
+    @pytest.mark.parametrize(
+        "key", ["naive", "operator_placement", "multijoin", "fsf", "centralized"]
+    )
+    def test_none_plan_is_bit_identical(self, key, matching):
+        scenario = tiny_faults_scenario(faults=None, reliability=None)
+        deployment = scenario.deployment()
+        base = scenario.program(8).with_prefix(8)
+        source = base.source(deployment)
+        compiled = base.compile(deployment, source)
+        truths = compiled.truth()
+        null_plan = replace(compiled, faults=FaultPlan.none())
+        approach = all_approaches()[key]
+        plain = run_program(approach, compiled, truths=truths, matching=matching)
+        nulled = run_program(
+            approach, null_plan, truths=truths, matching=matching
+        )
+        assert plain == nulled
+        assert nulled.retransmission_load == 0
+        assert nulled.refresh_load == 0
+        assert nulled.dropped_messages == 0
+
+
+class TestCrashRecover:
+    def _network(self, reliability=None):
+        deployment = line_deployment()
+        network = Network(
+            deployment, Simulator(seed=0), reliability=reliability
+        )
+        all_approaches()["naive"].populate(network)
+        network.attach_all_sensors()
+        network.run_to_quiescence()
+        return network
+
+    def test_crash_loses_volatile_state_and_gates_publish(self):
+        network = self._network()
+        node = network.nodes["s_b"]
+        assert node.ads.get("a") is not None  # learned via the flood
+        network.crash_node("s_b")
+        assert "s_b" in network.down
+        assert node.ads.get("a") is None
+        assert node.ads.get("b") is None  # even its own advertisement
+        # Readings die at a down host (what the oracle fences out).
+        before = network.sim.processed_events
+        from repro.model.events import SimpleEvent
+        from repro.model.locations import Location
+
+        network.publish(
+            "s_b", SimpleEvent("b", "t", Location(1.0, 0.0), 1.0, 50.0, seq=9)
+        )
+        network.run_to_quiescence()
+        assert network.sim.processed_events == before
+
+    def test_crash_is_idempotent_and_validates(self):
+        network = self._network()
+        with pytest.raises(ValueError, match="unknown node"):
+            network.crash_node("nowhere")
+        network.crash_node("s_b")
+        network.crash_node("s_b")  # no-op, no double bookkeeping
+        assert network.down == {"s_b"}
+
+    def test_recover_refloods_local_sensors(self):
+        network = self._network()
+        network.crash_node("s_b")
+        network.recover_node("s_b")
+        network.run_to_quiescence()
+        node = network.nodes["s_b"]
+        assert node.ads.get("b") is not None  # re-advertised
+        assert network.nodes["hub"].ads.get("b") is not None
+        # Remote state does NOT return on its own — that is the refresh
+        # layer's job (see test_reliability).
+        assert node.ads.get("a") is None
+
+    def test_refresh_round_restores_remote_state_after_recovery(self):
+        network = self._network(reliability=ReliabilityConfig())
+        network.crash_node("s_b")
+        network.recover_node("s_b")
+        network.run_to_quiescence()
+        network.schedule_refresh([(network.sim.now + 1.0, 1)])
+        network.run_to_quiescence()
+        node = network.nodes["s_b"]
+        assert node.ads.get("a") is not None
+        assert node.ads.get("c") is not None
+
+    def test_refresh_requires_reliability(self):
+        network = self._network()
+        with pytest.raises(ValueError, match="reliability"):
+            network.schedule_refresh([(100.0, 1)])
+
+
+class TestLivelockDiagnosis:
+    def test_budget_exhaustion_names_the_loop(self):
+        network = Network(line_deployment(), Simulator(seed=0))
+        all_approaches()["naive"].populate(network)
+        network.attach_all_sensors()
+        network.run_to_quiescence()
+
+        def heartbeat():
+            network.sim.schedule(1.0, heartbeat)
+
+        network.sim.schedule(0.0, heartbeat)
+        with pytest.raises(LivelockError, match="max_events=7") as exc_info:
+            network.run_to_quiescence(max_events=7)
+        error = exc_info.value
+        assert "hottest pending actions" in str(error)
+        assert "heartbeat" in str(error)
+        assert error.pending_actions  # the structured diagnosis survives
+        assert isinstance(error.busiest_links, list)
+        # The ad flood left real traffic, so links are named with units.
+        assert "units" in str(error)

@@ -31,6 +31,8 @@ from repro.experiments.parallel import (
     merge_points,
     point_tasks,
 )
+from repro.network.faults import FaultPlan, LinkFault
+from repro.network.reliability import ReliabilityConfig
 from repro.network.topology import build_deployment
 from repro.protocols.registry import distributed_approaches
 from repro.workload.program import QueryLifecycleConfig
@@ -69,6 +71,20 @@ TINY_LIFECYCLE = Scenario(
     attrs_min=3,
     attrs_max=5,
     lifecycle=QueryLifecycleConfig(admit_rate=0.1, hold=20.0),
+)
+
+# The unreliable-transport variant: 10% link loss with the reliability
+# layer on — every fault draw comes from one agenda-serialised stream,
+# so the sharded runner must still reproduce the serial series exactly.
+TINY_FAULTS = Scenario(
+    key="tiny-faults-sharded",
+    title="tiny faulty scenario",
+    deployment_factory=tiny_series_scenario().deployment_factory,
+    paper_subscription_counts=(60, 120),
+    attrs_min=3,
+    attrs_max=5,
+    faults=FaultPlan(default=LinkFault(drop=0.1, jitter=0.02), seed=5),
+    reliability=ReliabilityConfig(),
 )
 
 
@@ -179,6 +195,24 @@ class TestMergeFidelity:
                 assert r.retired_queries > 0
                 assert r.teardown_load > 0
                 assert r.admit_load > 0
+
+    def test_faults_sharded_equals_serial_bit_identically(self):
+        """The fault family through both runners: drop/jitter draws,
+        retransmission timers and refresh rounds must all reproduce
+        identically in worker processes — the plan is pure data and the
+        draws replay from the seeded stream."""
+        serial = run_series(TINY_FAULTS, distributed_approaches(), scale=0.1)
+        parallel = run_series_parallel(
+            TINY_FAULTS, distributed_approaches(), workers=2, scale=0.1
+        )
+        assert parallel.counts == serial.counts
+        assert parallel.results == serial.results
+        # The fault machinery genuinely ran: losses and retransmissions.
+        for runs in serial.results.values():
+            for r in runs:
+                assert r.dropped_messages > 0
+                assert r.retransmission_load > 0
+                assert r.refresh_load > 0
 
     def test_workers_env_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
@@ -356,3 +390,42 @@ for key, runs in series.results.items():
         assert a == b
         assert "LifecycleEdge" in a
         assert "retired_queries=" in a and "retired_queries=0" not in a
+
+    _FAULTS_SCRIPT = """
+import sys; sys.path.insert(0, {path!r})
+from repro.experiments import run_series_parallel
+from repro.network.faults import FaultPlan, LinkFault
+from repro.network.reliability import ReliabilityConfig
+from repro.network.topology import build_deployment
+from repro.workload.scenarios import Scenario
+
+def factory(seed):
+    return build_deployment(24, 3, seed=seed)
+
+scenario = Scenario(
+    key="xproc-faults",
+    title="cross-process fault-draw determinism",
+    deployment_factory=factory,
+    paper_subscription_counts=(60, 120),
+    attrs_min=3,
+    attrs_max=5,
+    faults=FaultPlan(default=LinkFault(drop=0.1, jitter=0.02), seed=5),
+    reliability=ReliabilityConfig(),
+)
+series = run_series_parallel(scenario, ["naive", "fsf"], workers=2, scale=0.1)
+for key, runs in series.results.items():
+    for result in runs:
+        print(key, repr(result))
+"""
+
+    def test_faulty_series_equal_across_hashseeds(self):
+        """Every drop, jitter and retransmission draw comes from a
+        stream keyed by the *stable* hash of ``faults:<seed>``, so a
+        sharded series over a faulty transport is bit-identical across
+        PYTHONHASHSEED subprocesses — the fault tentpole's acceptance
+        check."""
+        a = _run_under_hashseed(self._FAULTS_SCRIPT, "0")
+        b = _run_under_hashseed(self._FAULTS_SCRIPT, "424242")
+        assert a == b
+        assert "dropped_messages=" in a and "dropped_messages=0" not in a
+        assert "retransmission_load=" in a

@@ -1,0 +1,110 @@
+"""Kernel input validation and the agenda-budget diagnostics.
+
+The simulator rejects the inputs that used to corrupt runs silently —
+NaN times, negative delays, a reversed clock — and its budget guard
+raises a distinguishable :class:`AgendaBudgetExceeded` carrying enough
+agenda introspection (:meth:`Simulator.agenda_summary`) for the
+network layer to name a livelock.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import AgendaBudgetExceeded, SimulationError, Simulator
+
+
+class TestSchedulingValidation:
+    def test_at_rejects_nan_time(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.at(math.nan, lambda: None)
+
+    def test_schedule_rejects_nan_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.schedule(math.nan, lambda: None)
+
+    def test_schedule_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="negative delay"):
+            sim.schedule(-0.5, lambda: None)
+
+    def test_at_rejects_past_time(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="now is 5"):
+            sim.at(4.0, lambda: None)
+
+    def test_valid_inputs_still_schedule(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(0.0, lambda: ran.append("zero-delay"))
+        sim.at(1.5, lambda: ran.append("absolute"))
+        sim.run()
+        assert ran == ["zero-delay", "absolute"]
+
+
+class TestRunValidation:
+    def test_run_until_nan_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.run(until=math.nan)
+
+    def test_run_until_in_the_past_raises(self):
+        """The silent no-op this replaces hid reversed-clock bugs: a
+        harness computing ``until`` from a mis-shifted replay simply ran
+        nothing and reported empty metrics."""
+        sim = Simulator()
+        sim.at(10.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        with pytest.raises(SimulationError, match="monotone"):
+            sim.run(until=9.0)
+
+    def test_run_until_now_is_allowed(self):
+        sim = Simulator()
+        sim.run(until=0.0)  # vacuous but monotone
+        assert sim.now == 0.0
+
+
+class TestAgendaBudget:
+    @staticmethod
+    def _ticker(sim: Simulator):
+        def tick():
+            sim.schedule(1.0, tick)
+
+        return tick
+
+    def test_budget_exhaustion_raises_dedicated_error(self):
+        sim = Simulator()
+        sim.schedule(0.0, self._ticker(sim))
+        with pytest.raises(AgendaBudgetExceeded, match="max_events=25"):
+            sim.run(max_events=25)
+
+    def test_budget_error_is_a_simulation_error(self):
+        """Existing handlers catching SimulationError keep working."""
+        assert issubclass(AgendaBudgetExceeded, SimulationError)
+
+    def test_agenda_summary_names_the_pending_loop(self):
+        sim = Simulator()
+        sim.schedule(0.0, self._ticker(sim))
+        with pytest.raises(AgendaBudgetExceeded):
+            sim.run(max_events=10)
+        summary = sim.agenda_summary()
+        assert summary, "the runaway loop left nothing pending?"
+        names = [name for name, _ in summary]
+        assert any("tick" in name for name in names)
+
+    def test_agenda_summary_skips_cancelled_and_honours_n(self):
+        sim = Simulator()
+        handles = [sim.at(float(i + 1), lambda: None) for i in range(4)]
+        handles[0].cancel()
+        sim.at(9.0, self._ticker(sim))
+        summary = sim.agenda_summary(n=1)
+        assert len(summary) == 1
+        name, count = summary[0]
+        assert count == 3  # the three surviving lambdas dominate

@@ -393,7 +393,7 @@ class TestSubscriptionGenerator:
 
 
 class TestScenarios:
-    def test_six_scenarios_registered(self):
+    def test_seven_scenarios_registered(self):
         assert set(ALL_SCENARIOS) == {
             "small",
             "medium",
@@ -401,6 +401,7 @@ class TestScenarios:
             "large_sources",
             "churn",
             "admit_retire",
+            "faults",
         }
         churn = ALL_SCENARIOS["churn"]
         # The acceptance floor of the dynamic family: at least two
@@ -413,6 +414,12 @@ class TestScenarios:
         assert admit_retire.lifecycle is not None
         assert admit_retire.lifecycle.hold is not None
         assert admit_retire.include_centralized
+        faults = ALL_SCENARIOS["faults"]
+        # The acceptance floor of the unreliable-transport family: real
+        # link loss, the reliability layer on, all five approaches.
+        assert faults.faults is not None and faults.faults.default.drop > 0
+        assert faults.reliability is not None
+        assert faults.include_centralized
 
     def test_counts_scale(self):
         full = SMALL.subscription_counts(scale=1.0)
