@@ -1,0 +1,47 @@
+"""Static analysis for the reproduction's own invariants.
+
+The test suite *samples* the guarantees this repo depends on —
+PYTHONHASHSEED-independent replay, sharded==serial bit-identity,
+``FaultPlan.none()`` null-plan identity — by re-running a handful of
+scenarios and diffing artifacts.  This package *machine-checks* the
+source-level invariants behind those guarantees on every file:
+
+* **determinism rules** — no wall-clock or entropy calls inside
+  ``src/repro``, no unordered ``set`` iteration feeding ordered
+  bookkeeping, every RNG stream derived via
+  :func:`repro.seeding.derive_seed`;
+* **layering rules** — the package import DAG declared in
+  ``layers.toml`` (model at the bottom, experiments at the top), with
+  cycle detection over the contract itself;
+* **simulation-safety rules** — no negative/NaN literal delays, no
+  mutation of frozen plan types outside constructors, no direct agenda
+  access outside :mod:`repro.sim`.
+
+Run it as ``repro-lint`` (console script) or
+``python -m repro.analysis``.  Findings are suppressed inline with
+``# repro-lint: ignore[rule] -- reason``; unused or malformed
+suppressions are themselves findings, so the suppression inventory
+can never rot silently.
+
+The package deliberately imports nothing from the rest of ``repro``
+(it sits in its own bottom layer of the contract) so it can lint a
+broken tree.
+"""
+
+from .contract import ContractError, LayerContract, load_contract
+from .engine import Finding, LintConfig, lint_paths, lint_source
+from .report import format_findings
+from .sanitizer import DeterminismViolation, forbid_nondeterminism
+
+__all__ = [
+    "ContractError",
+    "DeterminismViolation",
+    "Finding",
+    "LayerContract",
+    "LintConfig",
+    "forbid_nondeterminism",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "load_contract",
+]

@@ -1,0 +1,136 @@
+"""``repro-lint``: the console entry point (also ``python -m repro.analysis``).
+
+Exit status is the gate contract CI relies on:
+
+* ``0`` — every scanned file is clean (inline suppressions with
+  reasons count as clean; *unused* suppressions do not);
+* ``1`` — at least one finding;
+* ``2`` — the run itself could not proceed (bad contract, bad flags).
+
+Default scan set is the repository's own code: ``src``, ``tests``,
+``benchmarks``, ``tools``, ``examples`` — rule families scope
+themselves by category, so tests are only checked for suppression
+hygiene while ``src/repro`` gets the full battery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .contract import ContractError, load_contract
+from .engine import CATEGORIES, LintConfig, lint_paths
+from .report import format_findings
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools", "examples")
+
+#: Every rule id, for ``--rules`` validation and ``--list-rules``.
+ALL_RULES: dict[str, str] = {
+    "wall-clock": "wall-clock reads (time.time, datetime.now, ...) in src/repro",
+    "entropy": "ambient entropy (os.urandom, uuid4, global random/np.random)",
+    "env-read": "os.environ/os.getenv reads outside the env-knob allowlist",
+    "unordered-iter": "set iteration feeding an order-sensitive position",
+    "rng-stream": "default_rng seeded without derive_seed",
+    "layer-violation": "load-time import breaking the layers.toml DAG",
+    "layer-unassigned": "repro module not owned by any contract layer",
+    "literal-delay": "schedule/at with a negative or NaN literal delay",
+    "frozen-mutation": "object.__setattr__ outside a constructor",
+    "agenda-access": "Simulator._agenda/_rngs touched outside repro.sim",
+    "bad-suppression": "malformed or reason-less repro-lint comment",
+    "unused-suppression": "suppression that silenced nothing",
+    "syntax-error": "file does not parse",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism, layering, and simulation-safety linter "
+        "for the repro package.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src tests benchmarks "
+        "tools examples, relative to the current directory)",
+    )
+    parser.add_argument(
+        "--contract", metavar="FILE", default=None,
+        help="layers.toml to enforce (default: the contract shipped in "
+        "repro.analysis)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]", default=None,
+        help="only run these rule ids (suppression hygiene always runs)",
+    )
+    parser.add_argument(
+        "--treat-as", choices=CATEGORIES, default=None,
+        help="force every scanned file into one category (lint fixture "
+        "snippets as if they lived under src/repro)",
+    )
+    parser.add_argument(
+        "--module-name", metavar="DOTTED", default=None,
+        help="force the dotted module name (single file only; lets a "
+        "fixture pose as a repro.* module for the layering rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with a one-line description and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule) for rule in ALL_RULES)
+        for rule in sorted(ALL_RULES):
+            print(f"{rule:<{width}}  {ALL_RULES[rule]}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
+        unknown = sorted(rules - set(ALL_RULES))
+        if unknown:
+            print(f"repro-lint: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        contract = load_contract(args.contract)
+    except ContractError as exc:
+        print(f"repro-lint: contract error: {exc}", file=sys.stderr)
+        return 2
+
+    config = LintConfig(
+        contract=contract,
+        rules=rules,
+        treat_as=args.treat_as,
+        module_override=args.module_name,
+    )
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
+    if args.module_name and len(paths) != 1:
+        print("repro-lint: --module-name requires exactly one file path",
+              file=sys.stderr)
+        return 2
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, config)
+    print(format_findings(findings, args.format))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

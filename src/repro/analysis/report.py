@@ -1,0 +1,58 @@
+"""Finding formatters for the CLI: grouped text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .engine import Finding
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    if fmt == "json":
+        return _format_json(findings)
+    if fmt == "text":
+        return _format_text(findings)
+    raise ValueError(f"unknown format {fmt!r} (expected 'text' or 'json')")
+
+
+def _format_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "repro-lint: clean"
+    lines: list[str] = []
+    current_path: str | None = None
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        if finding.path != current_path:
+            current_path = finding.path
+            lines.append(f"{finding.path}:")
+        lines.append(f"  {finding.line}: [{finding.rule}] {finding.message}")
+    by_rule = Counter(finding.rule for finding in findings)
+    breakdown = ", ".join(
+        f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+    )
+    files = len({finding.path for finding in findings})
+    lines.append("")
+    lines.append(
+        f"repro-lint: {len(findings)} finding(s) in {files} file(s) "
+        f"({breakdown})"
+    )
+    return "\n".join(lines)
+
+
+def _format_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.line, f.rule)
+            )
+        ],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,97 @@
+"""Layering rules: enforce the ``layers.toml`` import contract.
+
+``layer-violation``
+    A module-level (load-time) import reaching a layer the importer's
+    layer does not list in ``may-import``.  ``if TYPE_CHECKING:``
+    imports are exempt (they never execute); function-local imports
+    are exempt by design (the sanctioned lazy-upward idiom).
+``layer-unassigned``
+    A ``repro`` module — importer or importee — that no contract layer
+    owns.  New sub-packages must be placed in the DAG explicitly; they
+    do not inherit anything by default.
+
+Contract-file problems (cycles, duplicate ownership, unknown layer
+references) are :class:`~repro.analysis.contract.ContractError` at
+load time, not findings: a broken contract must stop the run, not
+produce a clean report.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import Finding, LintContext, module_level_imports
+
+
+def _resolve_relative(ctx: LintContext, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of a relative import, or None."""
+    package_parts = ctx.module.split(".")
+    if not ctx.is_package:
+        package_parts = package_parts[:-1]
+    hops_up = node.level - 1
+    if hops_up > len(package_parts):
+        return None
+    base = package_parts[: len(package_parts) - hops_up]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _imported_modules(ctx: LintContext, node: ast.Import | ast.ImportFrom) -> list[str]:
+    root = ctx.contract.root_package
+    targets: list[str] = []
+    if isinstance(node, ast.Import):
+        for item in node.names:
+            if item.name == root or item.name.startswith(root + "."):
+                targets.append(item.name)
+    else:
+        if node.level:
+            resolved = _resolve_relative(ctx, node)
+            if resolved and (resolved == root or resolved.startswith(root + ".")):
+                targets.append(resolved)
+        elif node.module and (
+            node.module == root or node.module.startswith(root + ".")
+        ):
+            targets.append(node.module)
+    return targets
+
+
+def check(ctx: LintContext) -> list[Finding]:
+    root = ctx.contract.root_package
+    if ctx.category != "src":
+        return []
+    if not (ctx.module == root or ctx.module.startswith(root + ".")):
+        return []
+    findings: list[Finding] = []
+
+    src_layer = ctx.contract.layer_of(ctx.module)
+    if src_layer is None:
+        findings.append(Finding(
+            ctx.path, 1, "layer-unassigned",
+            f"module {ctx.module} belongs to no layer in layers.toml; "
+            "add it to the contract",
+        ))
+
+    for node, typing_only in module_level_imports(ctx.tree):
+        if typing_only:
+            continue
+        for target in _imported_modules(ctx, node):
+            dst_layer = ctx.contract.layer_of(target)
+            if dst_layer is None:
+                findings.append(ctx.finding(
+                    node, "layer-unassigned",
+                    f"import target {target} belongs to no layer in "
+                    "layers.toml",
+                ))
+                continue
+            if src_layer is None:
+                continue
+            if not ctx.contract.allows(src_layer, dst_layer):
+                findings.append(ctx.finding(
+                    node, "layer-violation",
+                    f"{ctx.module} (layer {src_layer!r}) must not import "
+                    f"{target} (layer {dst_layer!r}) at load time; move "
+                    "the import under TYPE_CHECKING, make it lazy, or "
+                    "change layers.toml",
+                ))
+    return findings

@@ -1,0 +1,105 @@
+"""Simulation-safety rules: misuse the kernel rejects at runtime,
+caught before the run.
+
+``literal-delay``
+    ``schedule(-1.0, ...)`` / ``at(float("nan"), ...)``: negative or
+    NaN literal delays always raise :class:`SimulationError` at
+    runtime — a literal one is a bug visible statically.
+``frozen-mutation``
+    ``object.__setattr__`` outside ``__init__``/``__post_init__``:
+    the only sanctioned use is the frozen-dataclass constructor idiom;
+    anywhere else it is defeating immutability of plan/model types
+    (FaultPlan, WorkloadProgram, subscriptions) whose hashes and
+    equality feed memo keys and bit-identity checks.
+``agenda-access``
+    Touching ``_agenda``/``_rngs`` (the Simulator's internals) outside
+    :mod:`repro.sim`: bypassing the kernel skips its validation and
+    the FIFO sequence numbers that make runs reproducible.  Use
+    ``schedule``/``at``/``run``/``agenda_summary``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import Finding, LintContext, dotted_name
+
+SCHEDULING_METHODS = frozenset({"schedule", "at", "schedule_timeline"})
+PRIVATE_SIM_ATTRS = frozenset({"_agenda", "_rngs"})
+CONSTRUCTOR_METHODS = frozenset({"__init__", "__post_init__", "__setstate__"})
+
+
+def _delay_argument(node: ast.Call) -> ast.expr | None:
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg in ("delay", "time"):
+            return keyword.value
+    return None
+
+
+def _is_bad_literal(expr: ast.expr) -> str | None:
+    if (
+        isinstance(expr, ast.UnaryOp)
+        and isinstance(expr.op, ast.USub)
+        and isinstance(expr.operand, ast.Constant)
+        and isinstance(expr.operand.value, (int, float))
+    ):
+        return f"-{expr.operand.value:g}"
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "float"
+        and expr.args
+        and isinstance(expr.args[0], ast.Constant)
+        and isinstance(expr.args[0].value, str)
+        and expr.args[0].value.lower() == "nan"
+    ):
+        return "float('nan')"
+    return None
+
+
+def check(ctx: LintContext) -> list[Finding]:
+    if ctx.category != "src":
+        return []
+    findings: list[Finding] = []
+    in_sim_package = ctx.module.startswith("repro.sim")
+
+    # map each node to its nearest enclosing function name
+    enclosing: dict[ast.AST, str] = {}
+    for parent in ast.walk(ctx.tree):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(parent):
+                enclosing.setdefault(child, parent.name)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in SCHEDULING_METHODS
+            ):
+                delay = _delay_argument(node)
+                bad = _is_bad_literal(delay) if delay is not None else None
+                if bad is not None:
+                    findings.append(ctx.finding(
+                        node, "literal-delay",
+                        f".{func.attr}({bad}, ...) always raises "
+                        "SimulationError; delays must be >= 0 and finite",
+                    ))
+            if dotted_name(func, ctx.aliases) == "object.__setattr__":
+                if enclosing.get(node) not in CONSTRUCTOR_METHODS:
+                    findings.append(ctx.finding(
+                        node, "frozen-mutation",
+                        "object.__setattr__ outside a constructor mutates "
+                        "a frozen type; build a new instance "
+                        "(dataclasses.replace) instead",
+                    ))
+        elif isinstance(node, ast.Attribute) and not in_sim_package:
+            if node.attr in PRIVATE_SIM_ATTRS:
+                findings.append(ctx.finding(
+                    node, "agenda-access",
+                    f"direct {node.attr} access bypasses the Simulator; "
+                    "use schedule/at/run/agenda_summary",
+                ))
+    return findings

@@ -1,0 +1,114 @@
+"""Runtime determinism sanitizer: the linter's dynamic companion.
+
+The static rules prove ``src/repro`` *contains* no wall-clock or
+entropy calls; this module proves none are *reached* — including via
+third-party code paths the AST pass cannot see.  Inside
+:func:`forbid_nondeterminism`, the module-level draw functions of
+:mod:`time`, :mod:`random`, :mod:`uuid`, and ``os.urandom`` are
+replaced with raisers, so any simulation code that touches ambient
+state fails the equivalence suites immediately with a pointed error
+instead of passing by luck on one machine.
+
+The patch set is deliberately narrow:
+
+* ``time``: only the *clock reads* (``time``, ``time_ns``,
+  ``monotonic`` ...) — ``time.sleep`` and struct helpers stay, and
+  pytest/hypothesis machinery that holds a direct reference to the
+  original functions is unaffected (we patch attributes, not code);
+* ``random``: only the global-stream draw functions —
+  ``random.Random`` instances (hypothesis's engine, user code with
+  explicit seeds) keep working, as do ``seed``/``getstate``/
+  ``setstate`` which hypothesis's entropy management calls;
+* ``uuid``: ``uuid1``/``uuid4`` (entropy); ``uuid3``/``uuid5`` are
+  deterministic hashes and stay;
+* ``os.urandom``: the root entropy source.
+
+Used via the ``sanitize_determinism`` pytest fixture wired in
+``tests/conftest.py`` for the equivalence suites, or directly as a
+context manager around a simulation run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class DeterminismViolation(RuntimeError):
+    """A wall-clock or entropy call fired inside a sanitized region."""
+
+
+#: Caller modules exempt from the patch: the *test harness* (hypothesis
+#: times its examples with ``time.time``/``time.perf_counter``) and the
+#: stdlib concurrency plumbing (``multiprocessing``/``concurrent``
+#: worker management polls ``time.monotonic`` from its own threads —
+#: raising there kills the pool's management thread and deadlocks the
+#: run rather than failing it).  Simulation and repro code gets no
+#: pass: the check is on the *direct* caller's module name, so repro
+#: code cannot smuggle a clock read through an exempt frame.
+_EXEMPT_CALLER_PREFIXES = (
+    "hypothesis.", "_pytest.", "pluggy.",
+    "multiprocessing.", "concurrent.", "threading", "queue",
+    "selectors", "subprocess",
+)
+
+
+_TIME_ATTRS = (
+    "time", "time_ns",
+    "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns",
+)
+_RANDOM_ATTRS = (
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "paretovariate",
+    "weibullvariate", "triangular", "vonmisesvariate", "getrandbits",
+    "randbytes",
+)
+_UUID_ATTRS = ("uuid1", "uuid4")
+
+
+def _raiser(qualified: str, original):
+    def forbidden(*args: object, **kwargs: object) -> object:
+        caller = sys._getframe(1).f_globals.get("__name__", "")
+        if caller.startswith(_EXEMPT_CALLER_PREFIXES):
+            return original(*args, **kwargs)
+        raise DeterminismViolation(
+            f"{qualified}() called inside a determinism-sanitized "
+            "region: simulation code must take time from Simulator.now "
+            "and randomness from a derive_seed'd stream "
+            "(see repro.analysis)"
+        )
+
+    forbidden.__name__ = forbidden.__qualname__ = f"forbidden_{qualified}"
+    return forbidden
+
+
+@contextmanager
+def forbid_nondeterminism() -> Iterator[None]:
+    """Patch ambient time/entropy entry points to raise; restore on exit."""
+    saved: list[tuple[object, str, object]] = []
+
+    def patch(module: object, attr: str, qualified: str) -> None:
+        original = getattr(module, attr)
+        saved.append((module, attr, original))
+        setattr(module, attr, _raiser(qualified, original))
+
+    for attr in _TIME_ATTRS:
+        patch(time, attr, f"time.{attr}")
+    for attr in _RANDOM_ATTRS:
+        patch(random, attr, f"random.{attr}")
+    for attr in _UUID_ATTRS:
+        patch(uuid, attr, f"uuid.{attr}")
+    patch(os, "urandom", "os.urandom")
+    try:
+        yield
+    finally:
+        for module, attr, original in reversed(saved):
+            setattr(module, attr, original)

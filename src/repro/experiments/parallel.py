@@ -52,7 +52,7 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 def default_workers() -> int:
     """Worker-process count, overridable via the environment (default 1)."""
-    raw = os.environ.get(WORKERS_ENV_VAR)
+    raw = os.environ.get(WORKERS_ENV_VAR)  # repro-lint: ignore[env-read] -- documented REPRO_WORKERS knob, read once at experiment entry
     if raw is None:
         return 1
     workers = int(raw)

@@ -102,7 +102,7 @@ class OperatorMatcher:
         self._by_sensor: dict[str, list[tuple]] = {}
         for index, (slot, timeline) in enumerate(zip(self._slots, self._timelines)):
             entry = (slot.attribute, slot.interval.contains, timeline, index)
-            for sensor_id in slot.sensors:
+            for sensor_id in sorted(slot.sensors):
                 self._by_sensor.setdefault(sensor_id, []).append(entry)
         self._finite = not math.isinf(operator.delta_l)
         self._min_ts = float("inf")  # earliest indexed timestamp
@@ -572,7 +572,7 @@ class MatchingEngine:
             self._matchers[operator] = found
             found.backfill(self._store)
             for slot, timeline in zip(found._slots, found._timelines):
-                for sensor_id in slot.sensors:
+                for sensor_id in sorted(slot.sensors):
                     self._ingest_index.setdefault(
                         sensor_id, _StabbingIndex()
                     ).add(slot.attribute, slot.interval, timeline, found)
@@ -622,7 +622,7 @@ class MatchingEngine:
         matcher = self._matchers.pop(operator, None)
         if matcher is None:
             return
-        for sensor_id in matcher.operator.sensors:
+        for sensor_id in sorted(matcher.operator.sensors):
             index = self._ingest_index.get(sensor_id)
             if index is not None:
                 index.discard(matcher)

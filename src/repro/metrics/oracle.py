@@ -48,7 +48,7 @@ ORACLE_METHODS = ("engine", "reference")
 
 def default_oracle() -> str:
     """The truth pass to use, overridable via the environment."""
-    raw = os.environ.get(ORACLE_ENV_VAR, "engine")
+    raw = os.environ.get(ORACLE_ENV_VAR, "engine")  # repro-lint: ignore[env-read] -- documented REPRO_ORACLE knob, read once at experiment entry
     if raw not in ORACLE_METHODS:
         raise ValueError(
             f"{ORACLE_ENV_VAR} must be one of {ORACLE_METHODS}, got {raw!r}"

@@ -15,7 +15,7 @@ the per-link forwarding flags of the publish/subscribe event propagation
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from .locations import Location, spatial_span
 
@@ -105,7 +105,7 @@ class ComplexEvent:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SimpleEvent]:
         return iter(self.events)
 
     def __hash__(self) -> int:

@@ -189,7 +189,7 @@ def matches_involving(
     trigger_times: set[float] = {event.timestamp}
     horizon = event.timestamp + operator.delta_t
     for slot in operator.slots:
-        for sensor_id in slot.sensors:
+        for sensor_id in sorted(slot.sensors):
             for later in provider.events_for_sensor(
                 sensor_id, event.timestamp, horizon
             ):

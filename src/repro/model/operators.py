@@ -161,7 +161,11 @@ class CorrelationOperator:
         return self.main_slot is not None
 
     @property
-    def signature(self) -> tuple:
+    def signature(
+        self,
+    ) -> tuple[
+        tuple[tuple[str, str, tuple[str, ...]], ...], float, float, str | None
+    ]:
         """Grouping key for coverage: slot structure + correlation params.
 
         Only operators with the same signature are comparable for

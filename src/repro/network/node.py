@@ -182,7 +182,7 @@ class SubscriptionStore:
         )
         insert_by_seq(self._records, record)
         self._op_ids[operator.op_id] = self._op_ids.get(operator.op_id, 0) + 1
-        for sensor_id in operator.sensors:
+        for sensor_id in sorted(operator.sensors):
             self._by_sensor.setdefault(sensor_id, []).append(record)
         return record
 
@@ -206,7 +206,7 @@ class SubscriptionStore:
             r for r in self._records if r.operator.subscription_id != sub_id
         ]
         sensors = {sid for r in removed for sid in r.operator.sensors}
-        for sensor_id in sensors:
+        for sensor_id in sorted(sensors):
             bucket = [
                 r
                 for r in self._by_sensor.get(sensor_id, ())
@@ -473,7 +473,7 @@ class Node:
         matcher = (
             self.matching.retain(root) if self.matching is not None else None
         )
-        for sensor_id in root.sensors:
+        for sensor_id in sorted(root.sensors):
             self._local_by_sensor.setdefault(sensor_id, []).append(
                 (subscription, root, matcher)
             )
@@ -521,7 +521,7 @@ class Node:
         self.local_subscriptions = [
             entry for entry in self.local_subscriptions if entry[0].sub_id != sub_id
         ]
-        for sensor_id in {sid for _, root in removed for sid in root.sensors}:
+        for sensor_id in sorted({sid for _, root in removed for sid in root.sensors}):
             bucket = [
                 entry
                 for entry in self._local_by_sensor.get(sensor_id, ())

@@ -61,7 +61,7 @@ def parse_scale(raw: str) -> float:
 
 def default_scale() -> float:
     """Workload scale factor, overridable via the environment."""
-    raw = os.environ.get(SCALE_ENV_VAR)
+    raw = os.environ.get(SCALE_ENV_VAR)  # repro-lint: ignore[env-read] -- documented REPRO_SCALE knob, read once at experiment entry
     if raw is None:
         return SCALE_PRESETS["ci"]
     try:

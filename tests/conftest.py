@@ -9,7 +9,30 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.sanitizer import forbid_nondeterminism
+
 from deployments import fork_deployment, line_deployment
+
+#: Suites whose whole point is bit-identical replay: they run inside the
+#: runtime sanitizer, so any wall-clock or ambient-entropy call on their
+#: code path raises DeterminismViolation instead of passing by luck.
+SANITIZED_MODULES = frozenset({
+    "test_churn_equivalence",
+    "test_oracle_engine",
+    "test_program_bit_identity",
+    "test_cancellation",
+    "test_parallel_runner",
+    "test_determinism_order",
+})
+
+
+@pytest.fixture(autouse=True)
+def sanitize_determinism(request):
+    if request.module.__name__ in SANITIZED_MODULES:
+        with forbid_nondeterminism():
+            yield
+    else:
+        yield
 
 
 @pytest.fixture

@@ -1,0 +1,5 @@
+# lint-fixture: expect=agenda-access
+
+
+def backlog(sim) -> int:
+    return len(sim._agenda)

@@ -1,0 +1,6 @@
+# lint-fixture: expect=clean
+
+
+def backlog(sim) -> int:
+    sim.agenda_summary()
+    return sim.pending

@@ -1,0 +1,6 @@
+# lint-fixture: expect=bad-suppression,wall-clock
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: ignore[wall-clock]

@@ -1,0 +1,8 @@
+# lint-fixture: expect=entropy
+import random
+import uuid
+
+
+def pick(xs):
+    tag = uuid.uuid4()
+    return tag, random.choice(xs)

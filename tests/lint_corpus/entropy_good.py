@@ -1,0 +1,11 @@
+# lint-fixture: expect=clean
+import random
+
+import numpy as np
+from repro.seeding import derive_seed
+
+
+def pick(xs, seed: int):
+    rng = np.random.default_rng(derive_seed(seed, "pick"))
+    local = random.Random(seed)
+    return xs[int(rng.integers(len(xs)))], local.choice(xs)

@@ -1,0 +1,10 @@
+# lint-fixture: expect=env-read
+import os
+
+
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "ci")
+
+
+def workers() -> str:
+    return os.environ["REPRO_WORKERS"]

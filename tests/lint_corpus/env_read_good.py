@@ -1,0 +1,5 @@
+# lint-fixture: expect=clean
+
+
+def scale(preset: str) -> str:
+    return preset

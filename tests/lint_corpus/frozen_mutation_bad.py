@@ -1,0 +1,5 @@
+# lint-fixture: expect=frozen-mutation
+
+
+def poke(plan, seed: int):
+    object.__setattr__(plan, "seed", seed)

@@ -1,0 +1,14 @@
+# lint-fixture: expect=clean
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Plan:
+    seed: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", int(self.seed))
+
+
+def reseed(plan: Plan, seed: int) -> Plan:
+    return replace(plan, seed=seed)

@@ -1,0 +1,6 @@
+# lint-fixture: expect=layer-unassigned module=repro.newpkg.thing
+from repro.model.events import SimpleEvent
+
+
+def wrap(event: SimpleEvent):
+    return event

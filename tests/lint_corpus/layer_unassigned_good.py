@@ -1,0 +1,10 @@
+# lint-fixture: expect=clean module=repro.metrics.wellknown
+"""Good twin of layer_unassigned_bad: the module's dotted name resolves
+to a contract layer (``repro.metrics`` -> metrics), so importing within
+its allowance raises nothing."""
+
+from repro.model.events import SimpleEvent
+
+
+def describe(event: SimpleEvent) -> str:
+    return event.sensor_id

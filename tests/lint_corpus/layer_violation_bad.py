@@ -1,0 +1,6 @@
+# lint-fixture: expect=layer-violation module=repro.model.badimport
+from repro.network.messages import EventMessage
+
+
+def wrap(message: EventMessage):
+    return message

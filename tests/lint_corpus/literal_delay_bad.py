@@ -1,0 +1,6 @@
+# lint-fixture: expect=literal-delay
+
+
+def go(sim):
+    sim.schedule(-1.0, lambda: None)
+    sim.at(float("nan"), lambda: None)

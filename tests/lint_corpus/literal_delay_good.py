@@ -1,0 +1,7 @@
+# lint-fixture: expect=clean
+
+
+def go(sim, delay: float):
+    sim.schedule(0.0, lambda: None)
+    sim.schedule(delay, lambda: None)
+    sim.at(5, lambda: None)

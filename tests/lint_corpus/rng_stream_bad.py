@@ -1,0 +1,8 @@
+# lint-fixture: expect=rng-stream
+import numpy as np
+
+
+def make_streams(seed: int):
+    ambient = np.random.default_rng()
+    arithmetic = np.random.default_rng(seed * 31 + 7)
+    return ambient, arithmetic

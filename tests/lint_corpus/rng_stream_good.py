@@ -1,0 +1,10 @@
+# lint-fixture: expect=clean
+import numpy as np
+
+from repro.seeding import derive_seed
+
+
+def make_streams(seed: int):
+    derived = np.random.default_rng(derive_seed(seed, "stream"))
+    fixed = np.random.default_rng(0)
+    return derived, fixed

@@ -1,0 +1,6 @@
+# lint-fixture: expect=clean
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: ignore[wall-clock] -- fixture: sanctioned wall-clock read

@@ -1,0 +1,17 @@
+# lint-fixture: expect=unordered-iter
+
+
+def emit(raw):
+    ids = set(raw)
+    out = []
+    for sensor_id in ids:
+        out.append(sensor_id)
+    return out
+
+
+def materialise(raw):
+    return list(set(raw))
+
+
+def route(operator):
+    return [s for s in operator.sensors]

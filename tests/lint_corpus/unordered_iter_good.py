@@ -1,0 +1,19 @@
+# lint-fixture: expect=clean
+
+
+def emit(raw):
+    ids = set(raw)
+    out = []
+    for sensor_id in sorted(ids):
+        out.append(sensor_id)
+    return out
+
+
+def membership(raw, needle):
+    ids = set(raw)
+    return needle in ids and len(ids) > 1
+
+
+def reduce(raw):
+    ids = set(raw)
+    return any(x > 0 for x in ids), {x * 2 for x in ids}

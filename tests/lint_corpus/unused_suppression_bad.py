@@ -1,0 +1,5 @@
+# lint-fixture: expect=unused-suppression
+
+
+def add(a: int, b: int) -> int:
+    return a + b  # repro-lint: ignore[wall-clock] -- fixture: nothing to silence here

@@ -1,0 +1,6 @@
+# lint-fixture: expect=wall-clock
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,5 @@
+# lint-fixture: expect=clean
+
+
+def stamp(sim) -> float:
+    return sim.now

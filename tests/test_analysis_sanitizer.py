@@ -1,0 +1,117 @@
+"""Runtime sanitizer tests: ambient entropy raises, seeded streams pass."""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import uuid
+
+import numpy as np
+import pytest
+
+from repro.analysis import DeterminismViolation, forbid_nondeterminism
+from repro.core import filter_split_forward_approach
+from repro.model import IdentifiedSubscription
+from repro.sim import Simulator
+
+from deployments import line_deployment, make_network, publish
+
+
+class TestForbidden:
+    def test_wall_clock_raises(self):
+        with forbid_nondeterminism():
+            with pytest.raises(DeterminismViolation, match="time.time"):
+                time.time()
+            with pytest.raises(DeterminismViolation, match="monotonic"):
+                time.monotonic()
+
+    def test_global_random_raises(self):
+        with forbid_nondeterminism():
+            with pytest.raises(DeterminismViolation, match="random.random"):
+                random.random()
+            with pytest.raises(DeterminismViolation, match="random.shuffle"):
+                random.shuffle([1, 2, 3])
+
+    def test_uuid_and_urandom_raise(self):
+        with forbid_nondeterminism():
+            with pytest.raises(DeterminismViolation, match="uuid.uuid4"):
+                uuid.uuid4()
+            with pytest.raises(DeterminismViolation, match="os.urandom"):
+                os.urandom(8)
+
+    def test_error_message_points_at_the_fix(self):
+        with forbid_nondeterminism():
+            with pytest.raises(DeterminismViolation, match="derive_seed"):
+                time.time()
+
+
+class TestAllowed:
+    def test_seeded_random_instance_allowed(self):
+        with forbid_nondeterminism():
+            rng = random.Random(5)
+            assert rng.random() == random.Random(5).random()
+
+    def test_numpy_default_rng_allowed(self):
+        with forbid_nondeterminism():
+            rng = np.random.default_rng(7)
+            assert rng.integers(0, 10) == np.random.default_rng(7).integers(0, 10)
+
+    def test_deterministic_uuid5_allowed(self):
+        with forbid_nondeterminism():
+            assert uuid.uuid5(uuid.NAMESPACE_DNS, "x") == uuid.uuid5(
+                uuid.NAMESPACE_DNS, "x"
+            )
+
+
+class TestRestore:
+    def test_originals_restored_on_exit(self):
+        originals = (time.time, random.random, uuid.uuid4, os.urandom)
+        with forbid_nondeterminism():
+            assert time.time is not originals[0]
+        assert (time.time, random.random, uuid.uuid4, os.urandom) == originals
+
+    def test_restored_after_internal_exception(self):
+        original = time.time
+        with pytest.raises(ValueError):
+            with forbid_nondeterminism():
+                raise ValueError("boom")
+        assert time.time is original
+
+    def test_nesting_restores_cleanly(self):
+        original = random.random
+        with forbid_nondeterminism():
+            with forbid_nondeterminism():
+                pass
+            with pytest.raises(DeterminismViolation):
+                random.random()
+        assert random.random is original
+
+
+class TestSimulationUnderSanitizer:
+    def test_simulator_runs_clean(self):
+        """The agenda kernel takes no ambient time or entropy."""
+        with forbid_nondeterminism():
+            sim = Simulator(seed=3)
+            fired: list[float] = []
+            sim.at(1.0, lambda: fired.append(sim.now))
+            sim.at(2.5, lambda: fired.append(sim.now))
+            sim.run()
+            assert fired == [1.0, 2.5]
+
+    def test_network_scenario_runs_clean(self):
+        with forbid_nondeterminism():
+            net = make_network(line_deployment(), filter_split_forward_approach())
+            net.register_subscription(
+                "u2",
+                IdentifiedSubscription.from_ranges(
+                    "s", {"a": ("t", 0.0, 10.0), "b": ("t", 0.0, 10.0)}, 5.0
+                ),
+            )
+            net.run_to_quiescence()
+            publish(net, "a", 1.0, ts=100.0)
+            publish(net, "b", 1.0, ts=101.0)
+            net.run_to_quiescence()
+            delivered = net.delivery.delivered("s")
+            assert {k[0] for k in delivered} == {"a", "b"}
+            assert net.meter.event_units > 0
