@@ -83,8 +83,9 @@ class Session:
         ``approach`` is a registry key (``"fsf"``, ``"naive"``,
         ``"operator_placement"``, ``"multijoin"``, ``"centralized"``) or
         an :class:`Approach` instance; ``matching`` selects the node
-        matcher (``"incremental"`` engine or the ``"reference"``
-        oracle); ``deployment`` overrides the generated topology.
+        matcher (the ``"incremental"`` engine, the ``"columnar"``
+        shared-lane engine or the ``"reference"`` oracle);
+        ``deployment`` overrides the generated topology.
         ``seed`` defaults to the deployment's own seed when one is
         passed (so a pre-built deployment reproduces the experiment
         runner's simulator streams), else 0.  Sensors are attached and

@@ -6,7 +6,18 @@ the machine-checked oracle; this package is the performance engine the
 node event path runs on.
 """
 
+from .batch import Lane, SharedTimeline
+from .columnar import ColumnarEngine, ColumnarMatcher
 from .engine import MatchingEngine, OperatorMatcher
 from .timeline import Timeline, TimelineView
 
-__all__ = ["MatchingEngine", "OperatorMatcher", "Timeline", "TimelineView"]
+__all__ = [
+    "ColumnarEngine",
+    "ColumnarMatcher",
+    "Lane",
+    "MatchingEngine",
+    "OperatorMatcher",
+    "SharedTimeline",
+    "Timeline",
+    "TimelineView",
+]

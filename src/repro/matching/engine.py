@@ -334,106 +334,144 @@ class OperatorMatcher:
     def _sweep_plain(
         self, ordered, entries, lo, hi, own: int, event_pos: int
     ) -> dict[str, list[SimpleEvent]]:
-        """Unbounded ``delta_l``: participants are whole windows.
-
-        Window membership is tracked as merged index spans per slot, so
-        the union over triggers materialises each entry once.
-        """
-        delta_t = self.operator.delta_t
-        n = len(entries)
-        spans: list[list[list[int]]] = [[] for _ in range(n)]
-        found = False
-        for t_star in ordered:
-            after = t_star - delta_t
-            complete = True
-            for i in range(n):
-                ents = entries[i]
-                h = hi[i]
-                limit = len(ents)
-                while h < limit and ents[h][0] <= t_star:
-                    h += 1
-                hi[i] = h
-                l = lo[i]
-                while l < h and ents[l][0] <= after:
-                    l += 1
-                lo[i] = l
-                if l == h:
-                    complete = False
-            if not complete or not lo[own] <= event_pos < hi[own]:
-                continue
-            found = True
-            for i in range(n):
-                slot_spans = spans[i]
-                if slot_spans and lo[i] <= slot_spans[-1][1]:
-                    if hi[i] > slot_spans[-1][1]:
-                        slot_spans[-1][1] = hi[i]
-                else:
-                    slot_spans.append([lo[i], hi[i]])
-        if not found:
-            return {}
-        out: dict[str, list[SimpleEvent]] = {}
-        for i, slot_id in enumerate(self._slot_ids):
-            slot_spans = spans[i]
-            ents = entries[i]
-            if len(slot_spans) == 1:
-                a, b = slot_spans[0]
-                participants = [entry[-1] for entry in ents[a:b]]
-            else:
-                participants = []
-                for a, b in slot_spans:
-                    participants.extend([entry[-1] for entry in ents[a:b]])
-            _sort_if_tied(participants)
-            out[slot_id] = participants
-        return out
+        return sweep_plain(
+            self._slot_ids,
+            self.operator.delta_t,
+            ordered,
+            entries,
+            lo,
+            hi,
+            own,
+            event_pos,
+        )
 
     def _sweep_spatial(
         self, event, ordered, entries, lo, hi, own: int, event_pos: int
     ) -> dict[str, list[SimpleEvent]]:
-        """Finite ``delta_l``: grid-pruned combination search per trigger."""
-        operator = self.operator
-        delta_t = operator.delta_t
-        delta_l = operator.delta_l
-        n = len(entries)
-        key = event.key
-        union: list[dict[tuple[str, int], SimpleEvent]] = [{} for _ in range(n)]
-        found = False
-        for t_star in ordered:
-            after = t_star - delta_t
-            complete = True
-            for i in range(n):
-                ents = entries[i]
-                h = hi[i]
-                limit = len(ents)
-                while h < limit and ents[h][0] <= t_star:
-                    h += 1
-                hi[i] = h
-                l = lo[i]
-                while l < h and ents[l][0] <= after:
-                    l += 1
-                lo[i] = l
-                if l == h:
-                    complete = False
-            if not complete or not lo[own] <= event_pos < hi[own]:
-                continue
-            windows = [
-                [entry[-1] for entry in entries[i][lo[i] : hi[i]]] for i in range(n)
-            ]
-            participants = participating(windows, delta_l)
-            if participants is None:
-                continue
-            if not any(e.key == key for e in participants[own]):
-                continue
-            found = True
-            for i in range(n):
-                bucket = union[i]
-                for e in participants[i]:
-                    bucket[e.key] = e
-        if not found:
-            return {}
-        return {
-            slot_id: sorted(union[i].values(), key=_result_order)
-            for i, slot_id in enumerate(self._slot_ids)
-        }
+        return sweep_spatial(
+            self._slot_ids,
+            self.operator,
+            event,
+            ordered,
+            entries,
+            lo,
+            hi,
+            own,
+            event_pos,
+        )
+
+
+def sweep_plain(
+    slot_ids, delta_t, ordered, entries, lo, hi, own: int, event_pos: int
+) -> dict[str, list[SimpleEvent]]:
+    """Unbounded ``delta_l``: participants are whole windows.
+
+    Window membership is tracked as merged index spans per slot, so
+    the union over triggers materialises each entry once.
+
+    Shared verbatim between the incremental matcher and the columnar
+    core (which hands in masked per-slot entry lists): the two modes
+    run *the same* sweep, so the differential fence pins one algorithm,
+    not two implementations that happen to agree.
+    """
+    n = len(entries)
+    spans: list[list[list[int]]] = [[] for _ in range(n)]
+    found = False
+    for t_star in ordered:
+        after = t_star - delta_t
+        complete = True
+        for i in range(n):
+            ents = entries[i]
+            h = hi[i]
+            limit = len(ents)
+            while h < limit and ents[h][0] <= t_star:
+                h += 1
+            hi[i] = h
+            l = lo[i]
+            while l < h and ents[l][0] <= after:
+                l += 1
+            lo[i] = l
+            if l == h:
+                complete = False
+        if not complete or not lo[own] <= event_pos < hi[own]:
+            continue
+        found = True
+        for i in range(n):
+            slot_spans = spans[i]
+            if slot_spans and lo[i] <= slot_spans[-1][1]:
+                if hi[i] > slot_spans[-1][1]:
+                    slot_spans[-1][1] = hi[i]
+            else:
+                slot_spans.append([lo[i], hi[i]])
+    if not found:
+        return {}
+    out: dict[str, list[SimpleEvent]] = {}
+    for i, slot_id in enumerate(slot_ids):
+        slot_spans = spans[i]
+        ents = entries[i]
+        if len(slot_spans) == 1:
+            a, b = slot_spans[0]
+            participants = [entry[-1] for entry in ents[a:b]]
+        else:
+            participants = []
+            for a, b in slot_spans:
+                participants.extend([entry[-1] for entry in ents[a:b]])
+        _sort_if_tied(participants)
+        out[slot_id] = participants
+    return out
+
+
+def sweep_spatial(
+    slot_ids, operator, event, ordered, entries, lo, hi, own: int, event_pos: int
+) -> dict[str, list[SimpleEvent]]:
+    """Finite ``delta_l``: grid-pruned combination search per trigger.
+
+    Shared verbatim between the incremental matcher and the columnar
+    core, same as :func:`sweep_plain`.
+    """
+    delta_t = operator.delta_t
+    delta_l = operator.delta_l
+    n = len(entries)
+    key = event.key
+    union: list[dict[tuple[str, int], SimpleEvent]] = [{} for _ in range(n)]
+    found = False
+    for t_star in ordered:
+        after = t_star - delta_t
+        complete = True
+        for i in range(n):
+            ents = entries[i]
+            h = hi[i]
+            limit = len(ents)
+            while h < limit and ents[h][0] <= t_star:
+                h += 1
+            hi[i] = h
+            l = lo[i]
+            while l < h and ents[l][0] <= after:
+                l += 1
+            lo[i] = l
+            if l == h:
+                complete = False
+        if not complete or not lo[own] <= event_pos < hi[own]:
+            continue
+        windows = [
+            [entry[-1] for entry in entries[i][lo[i] : hi[i]]] for i in range(n)
+        ]
+        participants = participating(windows, delta_l)
+        if participants is None:
+            continue
+        if not any(e.key == key for e in participants[own]):
+            continue
+        found = True
+        for i in range(n):
+            bucket = union[i]
+            for e in participants[i]:
+                bucket[e.key] = e
+    if not found:
+        return {}
+    return {
+        slot_id: sorted(union[i].values(), key=_result_order)
+        for i, slot_id in enumerate(slot_ids)
+    }
 
 
 class _StabbingIndex:

@@ -65,6 +65,40 @@ class LivelockError(SimulationError):
         self.busiest_links = busiest_links
 
 
+class _DeliveryFlush:
+    """One agenda entry delivering a batch of same-instant messages.
+
+    Items are replayed in append order — identical to the order the
+    individual agenda entries would have fired — with consecutive
+    same-destination runs handed to :meth:`Node.receive_batch` so a
+    node drains a whole timestamp's arrivals in one pass.
+    """
+
+    __slots__ = ("network", "items")
+
+    def __init__(self, network: "Network", items: list) -> None:
+        self.network = network
+        self.items = items
+
+    def __call__(self) -> None:
+        nodes = self.network.nodes
+        items = self.items
+        i = 0
+        n = len(items)
+        while i < n:
+            dst = items[i][0]
+            j = i + 1
+            while j < n and items[j][0] == dst:
+                j += 1
+            if j - i == 1:
+                nodes[dst].receive(items[i][1], items[i][2])
+            else:
+                nodes[dst].receive_batch(
+                    [(message, origin) for (_d, message, origin) in items[i:j]]
+                )
+            i = j
+
+
 class Network:
     """Message fabric + bookkeeping for one simulated run."""
 
@@ -79,7 +113,7 @@ class Network:
         faults: FaultPlan | None = None,
         reliability: ReliabilityConfig | None = None,
     ) -> None:
-        if matching not in ("incremental", "reference"):
+        if matching not in ("incremental", "columnar", "reference"):
             raise ValueError(f"unknown matching mode {matching!r}")
         self.deployment = deployment
         self.sim = sim if sim is not None else Simulator(seed=deployment.seed)
@@ -123,6 +157,9 @@ class Network:
             if (bool(self.faults) or reliability is not None)
             else None
         )
+        # Open delivery batch for the plain (fault-free) send path:
+        # ``(arrival_time, agenda_sequence, items)``.  See ``send``.
+        self._batch: tuple[float, int, list] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -174,9 +211,33 @@ class Network:
             self.transport.send(src, dst, message)
             return
         self.meter.record((src, dst), message)
-        self.sim.schedule(
-            self.latency, lambda: self.nodes[dst].receive(message, src)
-        )
+        # Batch agenda execution (columnar mode only): consecutive sends
+        # targeting the same arrival instant share one agenda entry, and
+        # the flush drains a whole timestamp's deliveries through each
+        # node in one pass.  A batch stays open only while the
+        # simulator's scheduling sequence is unchanged — the batched
+        # sends are then provably consecutive in FIFO order, so no other
+        # same-instant action can sort between them and delivery order
+        # is exactly the unbatched order.  The incremental and reference
+        # modes keep the historical one-entry-per-send path.
+        if self.matching != "columnar":
+            self.sim.schedule(
+                self.latency, lambda: self.nodes[dst].receive(message, src)
+            )
+            return
+        sim = self.sim
+        when = sim.now + self.latency
+        batch = self._batch
+        if (
+            batch is not None
+            and batch[0] == when
+            and batch[1] == sim.sequence
+        ):
+            batch[2].append((dst, message, src))
+            return
+        items: list = [(dst, message, src)]
+        sim.at(when, _DeliveryFlush(self, items))
+        self._batch = (when, sim.sequence, items)
 
     def unicast(self, src: str, dst: str, message: Message) -> None:
         """Multi-hop transfer along the unique path; charged per hop.

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
+from ..matching.columnar import ColumnarEngine
 from ..matching.engine import MatchingEngine
 from ..model.advertisements import Advertisement, AdvertisementTable
 from ..model.events import EventKey, SimpleEvent
@@ -280,6 +281,17 @@ class SubscriptionStore:
         return len(self._records)
 
 
+def _make_engine(
+    mode: str, store
+) -> "MatchingEngine | ColumnarEngine | None":
+    """Node-level matcher implementation for a ``Network.matching`` mode."""
+    if mode == "incremental":
+        return MatchingEngine(store)
+    if mode == "columnar":
+        return ColumnarEngine(store)
+    return None
+
+
 class Node:
     """Base processing node; subclasses implement the protocol hooks."""
 
@@ -296,13 +308,16 @@ class Node:
 
         self.store = EventStore(network.validity)
         # The incremental matching engine mirrors the event store; the
-        # reference matcher remains selectable (Network(matching=
-        # "reference")) as the oracle for equivalence tests and as the
-        # recompute-on-arrival baseline for benchmarks.
-        self.matching: MatchingEngine | None = (
-            MatchingEngine(self.store)
-            if network.matching == "incremental"
-            else None
+        # columnar engine shares slot timelines across operators
+        # (Network(matching="columnar")); the reference matcher remains
+        # selectable (Network(matching="reference")) as the oracle for
+        # equivalence tests and as the recompute-on-arrival baseline
+        # for benchmarks.
+        self.matching: MatchingEngine | ColumnarEngine | None = _make_engine(
+            network.matching, self.store
+        )
+        self._columnar: ColumnarEngine | None = (
+            self.matching if isinstance(self.matching, ColumnarEngine) else None
         )
         self._sent: dict[EventKey, set[Hashable]] = {}
         self._adds_since_prune = 0
@@ -332,6 +347,17 @@ class Node:
     @property
     def now(self) -> float:
         return self.network.sim.now
+
+    def receive_batch(self, batch: list[tuple[Message, str]]) -> None:
+        """Drain one same-instant delivery batch in arrival order.
+
+        The plain transport coalesces consecutive same-destination
+        deliveries of one timestamp into a single call (see
+        ``network._DeliveryFlush``); semantics are exactly sequential
+        :meth:`receive` calls.
+        """
+        for message, origin in batch:
+            self.receive(message, origin)
 
     def receive(self, message: Message, origin: str) -> None:
         """Dispatch a delivered message to the protocol hooks.
@@ -766,10 +792,9 @@ class Node:
         self.local_subscriptions = []
         self._local_by_sensor = {}
         self.store = EventStore(self.network.validity)
-        self.matching = (
-            MatchingEngine(self.store)
-            if self.network.matching == "incremental"
-            else None
+        self.matching = _make_engine(self.network.matching, self.store)
+        self._columnar = (
+            self.matching if isinstance(self.matching, ColumnarEngine) else None
         )
         self._sent = {}
         self._adds_since_prune = 0
@@ -821,16 +846,28 @@ class Node:
         subscriptions are checked and matching complex events delivered
         to the user.  Participants are logged for the recall metric.
         """
+        columnar = self._columnar
         for subscription, root, matcher in self._local_by_sensor.get(
             event.sensor_id, ()
         ):
-            if matcher is not None:
-                participants = matcher.matches_involving(event)
+            if columnar is not None and matcher is not None:
+                # Dict-free hot path: the flat participant list comes
+                # straight from the shared memoised window lists.
+                delivered = columnar.delivered_members(matcher, event)
+                if delivered is None:
+                    continue
             else:
-                participants = reference_matches_involving(root, self.store, event)
-            if not participants:
-                continue
-            delivered = [e for events in participants.values() for e in events]
+                if matcher is not None:
+                    participants = matcher.matches_involving(event)
+                else:
+                    participants = reference_matches_involving(
+                        root, self.store, event
+                    )
+                if not participants:
+                    continue
+                delivered = [
+                    e for events in participants.values() for e in events
+                ]
             self.network.delivery.record_events(subscription.sub_id, delivered)
             self.network.delivery.record_complex(subscription.sub_id)
 
@@ -870,6 +907,7 @@ class Node:
         ``j``, at most once per link.
         """
         sent = self._sent
+        columnar = self._columnar
         for neighbor in self.neighbors:
             if neighbor == sender:
                 continue
@@ -877,22 +915,29 @@ class Node:
             if store is None:
                 continue
             outgoing: dict[EventKey, SimpleEvent] = {}
-            for operator, matcher in store.matched_for_sensor(
-                event.sensor_id, include_covered
-            ):
-                if matcher is not None:
-                    participants = matcher.matches_involving(event)
-                else:
-                    participants = reference_matches_involving(
-                        operator, self.store, event
-                    )
-                for events in participants.values():
-                    for member in events:
-                        # inline was_sent — this loop touches every
-                        # participant of every matching operator
-                        tags = sent.get(member.key)
-                        if tags is None or neighbor not in tags:
-                            outgoing[member.key] = member
+            pairs = store.matched_for_sensor(event.sensor_id, include_covered)
+            if columnar is not None:
+                # Lane-shared hot path: one stream of members across all
+                # matching operators, identical window lists offered once.
+                for member in columnar.forward_members(pairs, event):
+                    tags = sent.get(member.key)
+                    if tags is None or neighbor not in tags:
+                        outgoing[member.key] = member
+            else:
+                for operator, matcher in pairs:
+                    if matcher is not None:
+                        participants = matcher.matches_involving(event)
+                    else:
+                        participants = reference_matches_involving(
+                            operator, self.store, event
+                        )
+                    for events in participants.values():
+                        for member in events:
+                            # inline was_sent — this loop touches every
+                            # participant of every matching operator
+                            tags = sent.get(member.key)
+                            if tags is None or neighbor not in tags:
+                                outgoing[member.key] = member
             for key, member in sorted(outgoing.items()):
                 self.mark_sent(key, neighbor)
                 self.send_event(neighbor, member)

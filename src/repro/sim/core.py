@@ -21,7 +21,6 @@ The kernel is deliberately minimal and dependency-free:
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from collections import Counter
 from dataclasses import dataclass, field
@@ -89,7 +88,7 @@ class Simulator:
 
     def __init__(self, seed: int | None = None) -> None:
         self._agenda: list[_Entry] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._seed = seed
@@ -143,9 +142,24 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time:g}; now is {self._now:g}"
             )
-        entry = _Entry(time, priority, next(self._seq), action)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = _Entry(time, priority, seq, action)
         heapq.heappush(self._agenda, entry)
         return Handle(entry)
+
+    @property
+    def sequence(self) -> int:
+        """The next FIFO sequence number ``at`` will assign.
+
+        Monotone, bumped by *every* scheduling call — an unchanged value
+        between two instants proves no agenda entry was created in
+        between.  The network's delivery batching keys on this: a batch
+        of sends may share one agenda entry only while nothing else has
+        been scheduled, which guarantees no other action can sort
+        between the batched deliveries.
+        """
+        return self._seq
 
     def schedule(self, delay: float, action: Action, priority: int = 0) -> Handle:
         """Run ``action`` after ``delay`` units of virtual time."""

@@ -1,0 +1,8 @@
+# lint-fixture: expect=entropy
+import numpy as np
+
+
+def jitter(values):
+    np.random.seed(0)  # mutates the process-global legacy state
+    noise = np.random.normal(0.0, 1.0, len(values))
+    return [v + n for v, n in zip(values, noise)]

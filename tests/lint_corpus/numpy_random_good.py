@@ -1,0 +1,10 @@
+# lint-fixture: expect=clean
+import numpy as np
+
+from repro.seeding import derive_seed
+
+
+def jitter(values, seed: int):
+    rng = np.random.default_rng(derive_seed(seed, "jitter"))
+    noise = rng.normal(0.0, 1.0, len(values))
+    return [v + n for v, n in zip(values, noise)]

@@ -111,7 +111,10 @@ def run_churn_network(deployment, replay, workload, matching, approach_key):
 # convention of the matcher and oracle equivalence suites).
 @pytest.mark.parametrize("chunk", range(15))
 def test_engine_equals_reference_under_churn(chunk):
-    """Node matcher equivalence: identical deliveries and traffic."""
+    """Three-way node matcher equivalence: the incremental engine, the
+    columnar shared-lane engine and the reference window scan must
+    produce identical deliveries and identical traffic, message for
+    message, under churn (fences, retraction floods, re-floods)."""
     instances = 0
     for seed in range(chunk * 10, chunk * 10 + 10):
         deployment, replay, workload = churn_arena(seed)
@@ -120,10 +123,14 @@ def test_engine_equals_reference_under_churn(chunk):
         engine = run_churn_network(
             deployment, replay, workload, "incremental", approach_key
         )
+        columnar = run_churn_network(
+            deployment, replay, workload, "columnar", approach_key
+        )
         reference = run_churn_network(
             deployment, replay, workload, "reference", approach_key
         )
         assert engine == reference, (seed, approach_key)
+        assert columnar == reference, (seed, approach_key)
         instances += sum(len(keys) for keys in engine[0].values())
     # An all-empty chunk would mean the scenarios stopped testing
     # anything — the generators are tuned so deliveries genuinely occur.

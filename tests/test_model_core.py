@@ -78,6 +78,25 @@ class TestEvents:
         assert c.attributes == {"t", "u"}
         assert len(c) == 2
 
+    def test_timestamp_and_value_pinned_to_float(self):
+        """Constructors may pass ints or numpy scalars (replay rounds,
+        grid timestamps, fault-jittered arrivals) — the event always
+        stores plain ``float`` so tuple comparisons against numpy
+        float64 columns never mix dtypes."""
+        import numpy as np
+
+        for raw_ts, raw_value in (
+            (3, 7),
+            (np.int64(3), np.int64(7)),
+            (np.float64(3.5), np.float64(7.25)),
+            (np.float32(3.5), np.float32(7.25)),
+        ):
+            event = ev(ts=raw_ts, value=raw_value)
+            assert type(event.timestamp) is float, type(raw_ts)
+            assert type(event.value) is float, type(raw_value)
+            assert event.timestamp == float(raw_ts)
+            assert event.value == float(raw_value)
+
 
 class TestAdvertisementTable:
     def test_local_and_neighbor_next_hops(self):

@@ -34,12 +34,17 @@ from test_matching_engine import random_events, random_operator
 
 
 def assert_same_truth(operator, events) -> int:
-    """Both passes agree on one operator + event set; returns #triggers."""
+    """All three passes agree on one operator + event set; returns
+    #triggers.  ``columnar`` rides the same probes as ``engine`` so the
+    shared-lane matcher is fenced by the identical scenario corpus."""
     index = EventIndex(events)
     engine = operator_truth(operator, "q", index, method="engine")
     reference = operator_truth(operator, "q", index, method="reference")
+    columnar = operator_truth(operator, "q", index, method="columnar")
     assert engine.triggers == reference.triggers
     assert engine.participants == reference.participants
+    assert columnar.triggers == reference.triggers
+    assert columnar.participants == reference.participants
     # And without the participant pass (the cheap triggers-only mode).
     lean = operator_truth(
         operator, "q", index, collect_participants=False, method="engine"
@@ -83,9 +88,10 @@ class TestComputeTruthEndToEnd:
         subs = [p.subscription for p in workload]
         return deployment, subs, replay.shifted(REPLAY_START)
 
-    def test_engine_matches_reference(self, arena):
+    @pytest.mark.parametrize("method", ["engine", "columnar"])
+    def test_engine_matches_reference(self, arena, method):
         deployment, subs, events = arena
-        engine = compute_truth(subs, deployment, events, method="engine")
+        engine = compute_truth(subs, deployment, events, method=method)
         reference = compute_truth(subs, deployment, events, method="reference")
         assert set(engine) == set(reference)
         assert sum(t.n_instances for t in reference.values()) > 0
