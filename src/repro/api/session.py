@@ -222,6 +222,7 @@ class Session:
         query: Query | Subscription,
         at: str | None = None,
         settle: bool = True,
+        plan: object | None = None,
     ) -> QueryHandle:
         """Register a query and return its lifecycle handle.
 
@@ -242,7 +243,21 @@ class Session:
         settle (the simulator's ``run`` is not reentrant) and raises
         :class:`QueryError` up front; ``settle=False`` is safe there
         and floods the registration asynchronously.
+
+        ``plan`` routes the query's operator pieces along a compiled
+        :class:`~repro.placement.plan.PlacementPlan` instead of the
+        approach's heuristic (see ``WorkloadProgram(placement=
+        "compiled")``); ``None`` — the default — is the historical
+        registration, bit-identical to pre-plan sessions.
         """
+        if plan is not None and (
+            self.approach is not None
+            and not self.approach.supports_planned_placement
+        ):
+            raise QueryError(
+                f"approach {self.approach.key!r} does not support "
+                "compiled placement plans"
+            )
         if settle and self.network.sim.running:
             raise QueryError(
                 "cannot submit with settle=True from inside the event loop "
@@ -283,7 +298,7 @@ class Session:
         self.activations[subscription.sub_id] = self.now
         before = self.network.meter.snapshot()
         dropped_before = len(self.network.dropped_subscriptions)
-        self.network.register_subscription(node_id, subscription)
+        self.network.register_subscription(node_id, subscription, plan=plan)
         if settle:
             self.network.run_to_quiescence()
         accepted = len(self.network.dropped_subscriptions) == dropped_before

@@ -252,4 +252,7 @@ def centralized_approach() -> Approach:
         event_propagation="Full result sets",
         make_node=CentralizedNode,
         floods_advertisements=False,
+        # Registration unicasts to the centre — there is no operator
+        # tree for a compiled plan to route.
+        supports_planned_placement=False,
     )

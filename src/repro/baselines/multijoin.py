@@ -287,4 +287,8 @@ def multijoin_approach() -> Approach:
         subscription_splitting="Binary joins",
         event_propagation="Per neighbor",
         make_node=MultiJoinNode,
+        # The ring/role state machine is built inside handle_operator;
+        # plan-routed pieces would bypass it and orphan the dispatch
+        # ledger.
+        supports_planned_placement=False,
     )

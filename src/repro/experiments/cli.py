@@ -45,14 +45,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             "table1",
             "table2",
             "fig3",
-            *(f"fig{i}" for i in range(4, 19)),
+            *(f"fig{i}" for i in range(4, 21)),
             "all",
             "experiments-md",
         ],
         help="what to regenerate (figs 13-14 are the churn family, "
-        "figs 15-16 the query admit/retire family and figs 17-18 the "
-        "unreliable-transport family, all beyond the paper); omit with "
-        "--list to browse what exists",
+        "figs 15-16 the query admit/retire family, figs 17-18 the "
+        "unreliable-transport family and figs 19-20 the placement "
+        "family, all beyond the paper); omit with --list to browse "
+        "what exists",
     )
     parser.add_argument(
         "--list",
@@ -67,9 +68,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         dest="churn",
         action="store_true",
         help="include the beyond-paper families (churn figs 13-14, "
-        "admit/retire figs 15-16, faults figs 17-18) in the 'all' and "
-        "'experiments-md' targets; their dedicated figN targets always "
-        "run",
+        "admit/retire figs 15-16, faults figs 17-18, placement figs "
+        "19-20) in the 'all' and 'experiments-md' targets; their "
+        "dedicated figN targets always run",
     )
     parser.add_argument(
         "--faults",
@@ -77,6 +78,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="include just the unreliable-transport family (figs 17-18) "
         "in the 'all' and 'experiments-md' targets without pulling in "
         "the other beyond-paper families",
+    )
+    parser.add_argument(
+        "--placement",
+        action="store_true",
+        help="include just the placement family (figs 19-20, compiled "
+        "vs paper operator placement on the tiered deployment) in the "
+        "'all' and 'experiments-md' targets without pulling in the "
+        "other beyond-paper families",
     )
     parser.add_argument(
         "--scale",
@@ -153,6 +162,7 @@ def _run(args: argparse.Namespace) -> int:
                 args.scale,
                 include_churn=args.churn,
                 include_faults=args.faults,
+                include_placement=args.placement,
             )
         )
     else:  # all
@@ -161,7 +171,9 @@ def _run(args: argparse.Namespace) -> int:
         out.append(run_fig3_walkthrough().render())
         for fig_id in sorted(figures.ALL_FIGURES, key=int):
             if fig_id in figures.BEYOND_PAPER_FIGURES and not args.churn:
-                if not (args.faults and fig_id in figures.FAULTS_FIGURES):
+                if not (args.faults and fig_id in figures.FAULTS_FIGURES) and not (
+                    args.placement and fig_id in figures.PLACEMENT_FIGURES
+                ):
                     continue
             out.append(_figure_command(fig_id, args.scale))
     text = "\n\n".join(out) + "\n"

@@ -46,6 +46,14 @@ PAPER_CLAIMS = {
     "18": "Beyond the paper — the reliability layer's bill: refresh "
     "units are a loss-independent floor (periodic soft-state floods), "
     "retransmit units grow with the drop rate.",
+    "19": "Beyond the paper — total traffic on a tiered architecture "
+    "graph with a skewed cross-group workload: the placement compiler "
+    "delays the operator split past the natural divergence node, "
+    "gating the wide group's partial-match flood at its head; the "
+    "compiled lane undercuts the paper heuristic per approach.",
+    "20": "Beyond the paper — the safety half of fig 19: with exact "
+    "FSF filtering every lane holds 100% recall, so the compiled "
+    "placement's traffic savings are free of result loss.",
 }
 
 
@@ -53,13 +61,15 @@ def build_experiments_md(
     scale: float | None = None,
     include_churn: bool = False,
     include_faults: bool = False,
+    include_placement: bool = False,
 ) -> str:
     """Run everything and render the paper-vs-measured record.
 
     ``include_churn`` appends all beyond-paper figures (churn 13-14,
-    query admit/retire 15-16, faults 17-18); ``include_faults`` appends
-    just the fault family.  Both off by default to keep the
-    paper-facing record paper-shaped.
+    query admit/retire 15-16, faults 17-18, placement 19-20);
+    ``include_faults`` / ``include_placement`` append just their
+    family.  All off by default to keep the paper-facing record
+    paper-shaped.
     """
     eff_scale = default_scale() if scale is None else scale
     parts: list[str] = [
@@ -100,7 +110,11 @@ def build_experiments_md(
     ]
     for fig_id in sorted(figures.ALL_FIGURES, key=int):
         if fig_id in figures.BEYOND_PAPER_FIGURES and not include_churn:
-            if not (include_faults and fig_id in figures.FAULTS_FIGURES):
+            if not (
+                include_faults and fig_id in figures.FAULTS_FIGURES
+            ) and not (
+                include_placement and fig_id in figures.PLACEMENT_FIGURES
+            ):
                 continue
         result = figures.ALL_FIGURES[fig_id](eff_scale)
         parts += [

@@ -28,6 +28,7 @@ from ..workload.scenarios import (
     LARGE_NETWORK,
     LARGE_SOURCES,
     MEDIUM,
+    PLACEMENT,
     SCALE_PRESETS,
     SMALL,
     Scenario,
@@ -59,23 +60,33 @@ def scenario_series(
     CLI's ``--workers`` sets it); above 1 the series is computed by the
     sharded runner, whose result is bit-identical to the serial path —
     so the cache key deliberately ignores the worker count.
+
+    Scenarios may pin their own FSF configuration and approach subset
+    (``Scenario.fsf_config`` / ``Scenario.approach_keys``, used by the
+    placement family); an explicitly passed ``fsf_config`` wins over
+    the scenario's declaration.
     """
     eff_scale = default_scale() if scale is None else scale
     eff_workers = default_workers() if workers is None else workers
-    key = (scenario.key, eff_scale, scenario.seed, fsf_config)
+    eff_fsf = fsf_config if fsf_config is not None else scenario.fsf_config
+    key = (scenario.key, eff_scale, scenario.seed, eff_fsf)
     if key not in _SERIES_CACHE:
-        approaches = (
-            all_approaches(fsf_config)
-            if scenario.include_centralized
-            else distributed_approaches(fsf_config)
-        )
+        registry = all_approaches(eff_fsf)
+        if scenario.approach_keys is not None:
+            approaches: Mapping = {
+                k: registry[k] for k in scenario.approach_keys
+            }
+        elif scenario.include_centralized:
+            approaches = registry
+        else:
+            approaches = distributed_approaches(eff_fsf)
         if eff_workers > 1:
             _SERIES_CACHE[key] = run_series_parallel(
                 scenario,
                 approaches,
                 workers=eff_workers,
                 scale=eff_scale,
-                fsf_config=fsf_config,
+                fsf_config=eff_fsf,
             )
         else:
             _SERIES_CACHE[key] = run_series(
@@ -473,6 +484,107 @@ def figure_18(scale: float | None = None) -> FigureResult:
     )
 
 
+PLACEMENT_MODES = ("paper", "compiled")
+"""The two lanes of the placement family: the paper's
+divergence-node heuristic vs the ``repro.placement`` cost-model
+compiler, over the same tiered deployment and skewed workload."""
+
+
+def placement_variant(mode: str) -> Scenario:
+    """The ``placement`` scenario in one placement mode (own cache key)."""
+    if mode not in PLACEMENT_MODES:
+        raise ValueError(f"mode must be one of {PLACEMENT_MODES}, got {mode!r}")
+    return replace(PLACEMENT, key=f"placement@{mode}", placement=mode)
+
+
+def _placement_runs(scale: float | None) -> dict[str, SeriesResult]:
+    return {
+        mode: scenario_series(placement_variant(mode), scale)
+        for mode in PLACEMENT_MODES
+    }
+
+
+def _total_units(r) -> float:
+    """Everything a run put on the wire, every channel summed."""
+    return float(
+        r.subscription_load
+        + r.event_load
+        + r.advertisement_load
+        + r.reflood_load
+        + r.admit_load
+        + r.teardown_load
+        + r.retransmission_load
+        + r.refresh_load
+    )
+
+
+def figure_19(scale: float | None = None) -> FigureResult:
+    """Total traffic, compiled vs paper placement — beyond the paper.
+
+    The heterogeneous-architecture family: tiered node specs and a
+    skewed cross-group workload (one wide-filter group flooding partial
+    matches, one narrow group).  Per approach, two lanes of *total*
+    message units (subscription + event + advertisement channels): the
+    paper heuristic, which splits operators at the natural divergence
+    node, vs the cost-model compiler, which delays the split toward the
+    flooding group's head and gates the partial-match traffic at the
+    edge.
+    """
+    runs = _placement_runs(scale)
+    series: dict[str, tuple[float, ...]] = {}
+    for key in runs["paper"].results:
+        label = APPROACH_LABELS.get(key, key)
+        for mode in PLACEMENT_MODES:
+            series[f"{label} ({mode})"] = tuple(
+                _total_units(r) for r in runs[mode].results[key]
+            )
+    ratios = []
+    for key in runs["paper"].results:
+        paper_total = _total_units(runs["paper"].results[key][-1])
+        compiled_total = _total_units(runs["compiled"].results[key][-1])
+        if paper_total > 0:
+            ratios.append(
+                f"{APPROACH_LABELS.get(key, key)}: "
+                f"{compiled_total / paper_total:.3f}"
+            )
+    return FigureResult(
+        "19",
+        "Total traffic (units), compiled vs paper placement",
+        "Number of injected queries",
+        tuple(runs["paper"].counts),
+        series,
+        notes="Compiled/paper total-unit ratio at the largest point: "
+        + ", ".join(ratios),
+    )
+
+
+def figure_20(scale: float | None = None) -> FigureResult:
+    """Recall, compiled vs paper placement — beyond the paper.
+
+    The safety half of figure 19: delaying the operator split must not
+    cost results.  FSF runs with exact filtering in this family, so
+    every lane holds 100% and the traffic axis is the only mover.
+    """
+    runs = _placement_runs(scale)
+    series: dict[str, tuple[float, ...]] = {}
+    for key in runs["paper"].results:
+        label = APPROACH_LABELS.get(key, key)
+        for mode in PLACEMENT_MODES:
+            series[f"{label} ({mode})"] = tuple(
+                round(100 * r.recall, 1) for r in runs[mode].results[key]
+            )
+    return FigureResult(
+        "20",
+        "End user event recall (%), compiled vs paper placement",
+        "Number of injected queries",
+        tuple(runs["paper"].counts),
+        series,
+        notes="FSF runs with exact filtering in the placement family; "
+        "a compiled lane below its paper twin would mean the delayed "
+        "split lost matches.",
+    )
+
+
 ALL_FIGURES = {
     "4": figure_4,
     "5": figure_5,
@@ -489,6 +601,8 @@ ALL_FIGURES = {
     "16": figure_16,
     "17": figure_17,
     "18": figure_18,
+    "19": figure_19,
+    "20": figure_20,
 }
 
 CHURN_FIGURES = ("13", "14")
@@ -500,10 +614,25 @@ ADMIT_RETIRE_FIGURES = ("15", "16")
 FAULTS_FIGURES = ("17", "18")
 """The robustness family (unreliable transport) — beyond the paper."""
 
-BEYOND_PAPER_FIGURES = CHURN_FIGURES + ADMIT_RETIRE_FIGURES + FAULTS_FIGURES
+PLACEMENT_FIGURES = ("19", "20")
+"""The heterogeneous-architecture family (placement compiler) —
+beyond the paper."""
+
+BEYOND_PAPER_FIGURES = (
+    CHURN_FIGURES + ADMIT_RETIRE_FIGURES + FAULTS_FIGURES + PLACEMENT_FIGURES
+)
 """Figures past the paper's 4-12 set, gated behind the CLI's
 ``--beyond`` (né ``--churn``) flag for the ``all`` / ``experiments-md``
 targets; their dedicated ``figN`` targets always run."""
+
+FIGURE_GATES: dict[str, str] = {
+    **{fid: "--beyond (alias --churn)" for fid in CHURN_FIGURES},
+    **{fid: "--beyond (alias --churn)" for fid in ADMIT_RETIRE_FIGURES},
+    **{fid: "--faults (or --beyond)" for fid in FAULTS_FIGURES},
+    **{fid: "--placement (or --beyond)" for fid in PLACEMENT_FIGURES},
+}
+"""Which CLI flag unlocks each gated figure under the ``all`` /
+``experiments-md`` targets (dedicated ``figN`` targets always run)."""
 
 FIGURE_SCENARIOS: dict[str, str] = {
     "4": "small",
@@ -521,6 +650,8 @@ FIGURE_SCENARIOS: dict[str, str] = {
     "16": "admit_retire (rate sweep)",
     "17": "faults (loss sweep, reliability on/off)",
     "18": "faults (loss sweep, reliability on)",
+    "19": "placement (compiled vs paper lanes)",
+    "20": "placement (compiled vs paper lanes)",
 }
 """Which scenario family feeds each figure — the ``--list`` catalog."""
 
@@ -554,13 +685,27 @@ def render_catalog() -> str:
             )
         if scenario.reliability is not None:
             extras.append("ack/retransmit + soft-state refresh")
+        if scenario.span_groups > 1:
+            extras.append(f"cross-group queries (span {scenario.span_groups})")
+        if scenario.group_width_scale:
+            extras.append(
+                "skewed group widths "
+                f"{list(scenario.group_width_scale)}"
+            )
+        if scenario.fsf_config is not None:
+            extras.append("pinned FSF config")
+        if scenario.approach_keys is not None:
+            extras.append(f"approaches: {', '.join(scenario.approach_keys)}")
         if scenario.include_centralized:
             extras.append("includes centralized")
         if extras:
             lines.append(f"  features: {', '.join(extras)}")
     lines += ["", "Figures", "======="]
     for fig_id in sorted(ALL_FIGURES, key=int):
-        beyond = " [beyond the paper]" if fig_id in BEYOND_PAPER_FIGURES else ""
+        gate = FIGURE_GATES.get(fig_id)
+        beyond = (
+            f" [beyond the paper; gate: {gate}]" if gate is not None else ""
+        )
         lines.append(
             f"fig{fig_id}: scenario {FIGURE_SCENARIOS[fig_id]}{beyond}"
         )
@@ -571,6 +716,10 @@ def render_catalog() -> str:
     if FAULTS_FIGURES:
         lines.append(
             f"  link-loss axis (figs 17-18): {list(LOSS_AXIS)}"
+        )
+    if PLACEMENT_FIGURES:
+        lines.append(
+            f"  placement lanes (figs 19-20): {list(PLACEMENT_MODES)}"
         )
     lines += ["", "Scale presets", "============="]
     for name, value in sorted(SCALE_PRESETS.items(), key=lambda kv: kv[1]):

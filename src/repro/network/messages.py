@@ -65,10 +65,18 @@ class OperatorMessage:
     operator it already forwarded over this link so a broker that
     crashed (and lost its stores) re-learns it.  Receivers that still
     hold the operator ignore the copy.
+
+    ``plan`` carries the compiled placement plan the operator travels
+    under (``None``: the paper's heuristic routing).  The network layer
+    treats it as an opaque object exposing ``next_hops(node_id,
+    sensors)`` — plans are built by ``repro.placement``, which sits
+    above this layer.  A planned operator costs exactly one
+    subscription unit per link, like any other.
     """
 
     operator: CorrelationOperator
     refresh_epoch: int | None = None
+    plan: object | None = None
 
     @property
     def subscription_units(self) -> int:

@@ -323,10 +323,31 @@ class Network:
         self.sim.schedule_timeline(entries, priority=1)
         return len(entries)
 
-    def register_subscription(self, node_id: str, subscription: Subscription) -> None:
-        """Register a user subscription at ``node_id``."""
+    def register_subscription(
+        self,
+        node_id: str,
+        subscription: Subscription,
+        plan: object | None = None,
+    ) -> None:
+        """Register a user subscription at ``node_id``.
+
+        ``plan`` (an opaque compiled placement plan exposing
+        ``next_hops``; see ``repro.placement``) routes the operator
+        pieces explicitly instead of the approach's heuristic.  With
+        ``plan=None`` the call is exactly the historical registration —
+        the null-plan fence the placement tests machine-check.
+        """
         self.delivery.register(subscription.sub_id)
-        self.nodes[node_id].subscribe(subscription)
+        if plan is None:
+            self.nodes[node_id].subscribe(subscription)
+            return
+        if self.reliability is not None:
+            raise ValueError(
+                "compiled placement plans cannot ride the reliability "
+                "layer: soft-state refresh re-offers operator pieces "
+                "without their plan, which would misroute them"
+            )
+        self.nodes[node_id].subscribe(subscription, plan)
 
     def inject_subscription(self, node_id: str, subscription: Subscription) -> None:
         """Deprecated alias of :meth:`register_subscription`."""

@@ -329,6 +329,16 @@ class Node:
         self._forwarded_subs: dict[
             str, dict[str, dict[str, CorrelationOperator]]
         ] = {}
+        # Operator pieces adopted under a compiled placement plan.  A
+        # plan may fold a branch back along its trunk (delayed split),
+        # so completed matches must travel to the neighbour the branch
+        # events arrived from — the one case the forwarding loops'
+        # neighbour==sender skip must not apply to.  Heuristically
+        # placed operators never need this (the operator tree is a
+        # tree; events climb strictly toward the consumer), so the set
+        # stays empty outside compiled placements and the skip keeps
+        # its historical behaviour bit-for-bit.
+        self._planned_ops: set[str] = set()
         # Soft-state clock: last refresh epoch seen per sensor (0 =
         # only the setup flood).  Dedupes refresh floods and drives
         # advertisement expiry.
@@ -376,7 +386,10 @@ class Node:
                 # records and forwarding — duplicates stay invisible.
                 return
             self._seq_source.begin_arrival()
-            self.handle_operator(message.operator, origin)
+            if message.plan is not None:
+                self.adopt_planned(message.operator, origin, message.plan)
+            else:
+                self.handle_operator(message.operator, origin)
         elif isinstance(message, UnsubscribeMessage):
             self.handle_unsubscribe(message.subscription_id, origin)
         elif isinstance(message, AdvertisementMessage):
@@ -415,11 +428,18 @@ class Node:
     # ------------------------------------------------------------------
     # sending helpers
     # ------------------------------------------------------------------
-    def send_operator(self, neighbor: str, operator: CorrelationOperator) -> None:
+    def send_operator(
+        self,
+        neighbor: str,
+        operator: CorrelationOperator,
+        plan: object | None = None,
+    ) -> None:
         self._forwarded_subs.setdefault(
             operator.subscription_id, {}
         ).setdefault(neighbor, {})[operator.op_id] = operator
-        self.network.send(self.node_id, neighbor, OperatorMessage(operator))
+        self.network.send(
+            self.node_id, neighbor, OperatorMessage(operator, plan=plan)
+        )
 
     def knows_operator(self, op_id: str) -> bool:
         """Whether any store currently holds a record of ``op_id``."""
@@ -481,12 +501,19 @@ class Node:
         """A locally attached sensor produced a reading."""
         self.handle_event(event, LOCAL, ())
 
-    def subscribe(self, subscription: Subscription) -> None:
+    def subscribe(
+        self, subscription: Subscription, plan: object | None = None
+    ) -> None:
         """Register a local user subscription.
 
         Resolves abstract subscriptions against the advertisement table
         (local knowledge only — the table was filled by flooding) and
         performs the absent-sources check of Algorithm 3, line 3.
+
+        With a compiled ``plan`` the root operator is adopted along the
+        plan's routing table (:meth:`adopt_planned`) instead of the
+        approach's heuristic ``handle_operator``; local delivery and
+        the absent-sources check are identical either way.
         """
         root = self.build_root_operator(subscription)
         if root is None:
@@ -504,7 +531,10 @@ class Node:
                 (subscription, root, matcher)
             )
         self._seq_source.begin_arrival()
-        self.handle_operator(root, LOCAL)
+        if plan is not None:
+            self.adopt_planned(root, LOCAL, plan)
+        else:
+            self.handle_operator(root, LOCAL)
 
     def build_root_operator(
         self, subscription: Subscription
@@ -522,6 +552,33 @@ class Node:
             attr: [ad.sensor_id for ad in ads] for attr, ads in resolved.items()
         }
         return root_operator(subscription, self.node_id, sensors)
+
+    def adopt_planned(
+        self, operator: CorrelationOperator, origin: str, plan
+    ) -> None:
+        """Store and forward an operator piece under a compiled plan.
+
+        The plan-routed analogue of ``handle_operator``: the piece is
+        stored uncovered in the origin store (so the shared event path
+        gates on it exactly like a heuristically placed piece, and the
+        covered-only cancellation repair never touches it), projected
+        per the plan's routing table, and forwarded.  ``plan`` is
+        opaque here — any object with ``next_hops(node_id, sensors)``
+        (built by ``repro.placement``, which sits above this layer).
+
+        Reverse-path memory is recorded via :meth:`send_operator`, so
+        ``UnsubscribeMessage`` teardown retraces planned placements for
+        free.
+        """
+        store = self.store_for(origin)
+        if store.has_operator(operator.op_id):
+            return
+        store.add(operator, covered=False)
+        self._planned_ops.add(operator.op_id)
+        for neighbor, subset in plan.next_hops(self.node_id, operator.sensors):
+            piece = operator.project_sensors(subset)
+            if piece is not None:
+                self.send_operator(neighbor, piece, plan=plan)
 
     # ------------------------------------------------------------------
     # query cancellation (the subscription lifecycle's retire edge)
@@ -908,14 +965,24 @@ class Node:
         """
         sent = self._sent
         columnar = self._columnar
+        planned = self._planned_ops
         for neighbor in self.neighbors:
-            if neighbor == sender:
+            if neighbor == sender and not planned:
                 continue
             store = self.stores.get(neighbor)
             if store is None:
                 continue
             outgoing: dict[EventKey, SimpleEvent] = {}
             pairs = store.matched_for_sensor(event.sensor_id, include_covered)
+            if neighbor == sender:
+                # Only a compiled plan's fold-back return path may send
+                # an event back where it came from (see _planned_ops);
+                # per-link dedup still bounds it to once per link.
+                pairs = (
+                    (operator, matcher)
+                    for operator, matcher in pairs
+                    if operator.op_id in planned
+                )
             if columnar is not None:
                 # Lane-shared hot path: one stream of members across all
                 # matching operators, identical window lists offered once.
@@ -960,16 +1027,26 @@ class Node:
         operator "generates traffic only from the node where coverage
         was detected, to the user's node").
         """
+        planned = self._planned_ops
         for neighbor in self.neighbors:
-            if neighbor == sender:
+            if neighbor == sender and not planned:
                 continue
             store = self.stores.get(neighbor)
             if store is None:
                 continue
             outgoing: dict[EventKey, tuple[SimpleEvent, list[str]]] = {}
-            for operator, matcher in store.matched_for_sensor(
-                event.sensor_id, include_covered
-            ):
+            pairs = store.matched_for_sensor(event.sensor_id, include_covered)
+            if neighbor == sender:
+                # Fold-back return path of a compiled plan: only
+                # plan-adopted pieces may route an event back to its
+                # sender (see _planned_ops); the per-stream sent marks
+                # bound any bounce to one hop.
+                pairs = (
+                    (operator, matcher)
+                    for operator, matcher in pairs
+                    if operator.op_id in planned
+                )
+            for operator, matcher in pairs:
                 if matcher is not None:
                     participants = matcher.matches_involving(event)
                 else:

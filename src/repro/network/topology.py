@@ -32,6 +32,48 @@ from ..model.attributes import AttributeType, SENSORSCOPE_ATTRIBUTES
 from ..model.locations import Location
 
 
+NODE_TIERS = ("mote", "relay", "base_station", "cloud")
+"""The heterogeneous architecture tiers, weakest to strongest."""
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Per-node architecture attributes of the deployment graph.
+
+    ``link_bandwidth`` scales the cost of moving one data unit over any
+    link incident to the node (a link is priced by its *slower*
+    endpoint), ``storage_capacity`` the cost of parking event residency
+    on it, ``compute_rate`` the cost of running matcher work there.
+    All three are relative to the default relay (1.0).  Specs feed the
+    placement cost model only — the traffic meter keeps counting units,
+    so assigning specs never changes a measured run.
+    """
+
+    tier: str = "relay"
+    link_bandwidth: float = 1.0
+    storage_capacity: float = 1.0
+    compute_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tier not in NODE_TIERS:
+            raise ValueError(
+                f"unknown tier {self.tier!r}; known: {NODE_TIERS}"
+            )
+        for name in ("link_bandwidth", "storage_capacity", "compute_rate"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+DEFAULT_NODE_SPEC = NodeSpec()
+"""What every node is until a deployment assigns tiers: a plain relay.
+Homogeneous deployments carry no specs at all, so existing topologies
+stay byte-identical."""
+
+MOTE_SPEC = NodeSpec("mote", link_bandwidth=0.5, storage_capacity=0.25, compute_rate=0.25)
+BASE_STATION_SPEC = NodeSpec("base_station", link_bandwidth=4.0, storage_capacity=8.0, compute_rate=8.0)
+CLOUD_SPEC = NodeSpec("cloud", link_bandwidth=8.0, storage_capacity=32.0, compute_rate=32.0)
+
+
 @dataclass(frozen=True, slots=True)
 class SensorPlacement:
     """One deployed sensor: identity, type, site and hosting node."""
@@ -56,6 +98,7 @@ class Deployment:
     relay_nodes: list[str]
     group_heads: dict[int, str]
     seed: int
+    specs: dict[str, NodeSpec] = field(default_factory=dict)
 
     @property
     def n_nodes(self) -> int:
@@ -82,6 +125,15 @@ class Deployment:
     def diameter(self) -> int:
         return nx.diameter(self.graph)
 
+    def spec_of(self, node_id: str) -> NodeSpec:
+        """The node's architecture spec (default relay when unassigned)."""
+        return self.specs.get(node_id, DEFAULT_NODE_SPEC)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every node is (effectively) the default relay."""
+        return all(spec == DEFAULT_NODE_SPEC for spec in self.specs.values())
+
     def validate(self) -> None:
         """Assert the structural invariants the protocols rely on."""
         if not nx.is_tree(self.graph):
@@ -91,6 +143,28 @@ class Deployment:
             raise ValueError("one sensor per sensor node")
         if set(hosted) & set(self.relay_nodes):
             raise ValueError("relay nodes must not host sensors")
+        graph_nodes = set(self.graph.nodes)
+        missing_hosts = sorted(set(hosted) - graph_nodes)
+        if missing_hosts:
+            raise ValueError(
+                "sensor hosting nodes missing from the overlay graph: "
+                f"{missing_hosts}"
+            )
+        headless = sorted(g for g in self.groups if g not in self.group_heads)
+        if headless:
+            raise ValueError(f"groups without a head: {headless}")
+        missing_heads = sorted(
+            str(h) for h in self.group_heads.values() if h not in graph_nodes
+        )
+        if missing_heads:
+            raise ValueError(
+                f"group heads missing from the overlay graph: {missing_heads}"
+            )
+        unknown_specs = sorted(n for n in self.specs if n not in graph_nodes)
+        if unknown_specs:
+            raise ValueError(
+                f"specs assigned to unknown nodes: {unknown_specs}"
+            )
 
 
 def _attach_random_tree(
@@ -205,3 +279,46 @@ def large_network(seed: int = 0) -> Deployment:
 def large_sources(seed: int = 0) -> Deployment:
     """200 nodes, 100 sensor nodes, 20 groups (Figs 10-11)."""
     return build_deployment(200, 20, seed=seed)
+
+
+def tiered_specs(deployment: Deployment) -> dict[str, NodeSpec]:
+    """Architecture tiers as a pure function of a built topology.
+
+    Sensor hosts are motes, group heads base stations, the backbone
+    centre (smallest-eccentricity relay, lowest node id on ties) the
+    cloud uplink, every other relay a plain relay.  No randomness: the
+    assignment draws nothing, so decorating a deployment with tiers
+    keeps its graph, sensors and every downstream RNG stream
+    byte-identical to the undecorated build.
+    """
+    eccentricity = nx.eccentricity(deployment.graph)
+    center = min(
+        (ecc, node)
+        for node, ecc in eccentricity.items()
+        if node in set(deployment.relay_nodes)
+    )[1]
+    heads = set(deployment.group_heads.values())
+    specs: dict[str, NodeSpec] = {}
+    for node in sorted(deployment.graph.nodes):
+        if node == center:
+            specs[node] = CLOUD_SPEC
+        elif node in heads:
+            specs[node] = BASE_STATION_SPEC
+        elif node in deployment.sensor_nodes:
+            specs[node] = MOTE_SPEC
+        else:
+            specs[node] = NodeSpec("relay")
+    return specs
+
+
+def tiered_small_scale(seed: int = 0) -> Deployment:
+    """The small-scale deployment with heterogeneous architecture tiers.
+
+    Same graph, sensors and seed streams as :func:`small_scale` — only
+    the ``specs`` map differs, which feeds the placement cost model and
+    nothing else (figs 19-20, the placement family).
+    """
+    deployment = small_scale(seed)
+    deployment.specs.update(tiered_specs(deployment))
+    deployment.validate()
+    return deployment

@@ -1,0 +1,35 @@
+"""Cost-model-driven operator placement over the architecture graph.
+
+The placement subsystem turns operator placement from the paper's
+fixed split-at-every-divergence heuristic into a compiled optimisation
+decision: :func:`compile_placement` prices candidate rendezvous nodes
+for each query against the deployment's per-node
+:class:`~repro.network.topology.NodeSpec` tiers and the replay's
+workload statistics, and emits explicit :class:`PlacementPlan` routing
+tables that registration executes (``WorkloadProgram(placement=
+"compiled")``).  The paper heuristic is always among the candidates,
+so the compiled plan never models worse than it.
+
+Layering: this package sits between ``workload`` and ``experiments``
+(see ``analysis/layers.toml``); the network layer executes plans
+opaquely via duck-typed ``next_hops`` and never imports it.
+"""
+
+from .compiler import compile_placement, compile_query, lower_plan
+from .cost import PlanCost, link_cost, path_cost, price_rendezvous
+from .plan import PlacementPlan, PlanHop, sensor_key
+from .stats import WorkloadStats
+
+__all__ = [
+    "PlacementPlan",
+    "PlanHop",
+    "PlanCost",
+    "WorkloadStats",
+    "compile_placement",
+    "compile_query",
+    "lower_plan",
+    "link_cost",
+    "path_cost",
+    "price_rendezvous",
+    "sensor_key",
+]

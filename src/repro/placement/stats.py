@@ -1,0 +1,53 @@
+"""Deterministic workload statistics for the placement cost model.
+
+Everything the cost model knows about the workload comes from here:
+per-sensor event counts and per-(sensor, interval) pass fractions,
+computed from the program's already-materialised replay.  The numbers
+are exact arithmetic over the event tuple — no sampling, no RNG, no
+``derive_seed`` — so compiling the same program twice (in any process,
+under any ``PYTHONHASHSEED``) prices every candidate identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..model.events import SimpleEvent
+    from ..model.intervals import Interval
+
+
+class WorkloadStats:
+    """Per-sensor event rates and selectivities of one replay."""
+
+    __slots__ = ("_values", "total_events")
+
+    def __init__(self, events: Iterable["SimpleEvent"]) -> None:
+        values: dict[str, list[float]] = {}
+        total = 0
+        for event in events:
+            values.setdefault(event.sensor_id, []).append(event.value)
+            total += 1
+        for series in values.values():
+            series.sort()
+        self._values = values
+        self.total_events = total
+
+    def rate(self, sensor_id: str) -> float:
+        """Events the sensor publishes over the replay (count; the span
+        is shared by every candidate, so counts compare like rates)."""
+        return float(len(self._values.get(sensor_id, ())))
+
+    def pass_fraction(self, sensor_id: str, interval: "Interval") -> float:
+        """Fraction of the sensor's readings inside the closed interval."""
+        series = self._values.get(sensor_id)
+        if not series:
+            return 0.0
+        lo = bisect_left(series, interval.lo)
+        hi = bisect_right(series, interval.hi)
+        return (hi - lo) / len(series)
+
+    def gated_rate(self, sensor_id: str, interval: "Interval") -> float:
+        """Readings that survive the sensor's own filter (rate x pass)."""
+        return self.rate(sensor_id) * self.pass_fraction(sensor_id, interval)

@@ -37,6 +37,7 @@ class Approach:
     make_node: NodeFactory
     floods_advertisements: bool = True
     deterministic_recall: bool = True
+    supports_planned_placement: bool = True
     config: object = None
 
     def populate(self, network: "Network") -> "Network":

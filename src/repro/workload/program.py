@@ -212,7 +212,14 @@ class WorkloadProgram:
       (:class:`~repro.network.faults.FaultPlan`: link loss/delay plus
       correlated broker outages, compiled into scheduled crash/recover
       edges); ``reliability`` opts the brokers into the ack/retransmit
-      and soft-state-refresh layer.
+      and soft-state-refresh layer;
+    * ``placement`` selects operator placement: ``"paper"`` (the
+      heuristic, the default — compiled programs carry no plans and are
+      bit-identical to pre-placement programs) or ``"compiled"`` (the
+      ``repro.placement`` compiler prices candidate rendezvous nodes
+      against the architecture graph and the replay statistics, and
+      registration executes the resulting
+      :class:`~repro.placement.plan.PlacementPlan` routing tables).
 
     Programs are frozen, hashable and picklable — a program plus a
     deployment seed *is* the experiment, which is what makes points
@@ -229,8 +236,25 @@ class WorkloadProgram:
     faults: FaultPlan | None = None
     reliability: ReliabilityConfig | None = None
     replay_start: float = REPLAY_START
+    placement: str = "paper"
 
     def __post_init__(self) -> None:
+        if self.placement not in ("paper", "compiled"):
+            raise ValueError(
+                f"placement must be 'paper' or 'compiled', got {self.placement!r}"
+            )
+        if self.placement == "compiled":
+            if self.churn is not None:
+                raise ValueError(
+                    "compiled placement prices a static architecture graph; "
+                    "it cannot be combined with sensor churn"
+                )
+            if self.faults is not None or self.reliability is not None:
+                raise ValueError(
+                    "compiled placement cannot ride the unreliable transport: "
+                    "soft-state refresh re-offers operator pieces without "
+                    "their plan, which would misroute them"
+                )
         if self.churn is not None and self.dynamic is None:
             raise ValueError("churn requires a dynamic replay")
         if (
@@ -368,6 +392,13 @@ class WorkloadProgram:
                     f"duplicate query id {admission.sub_id!r} in program"
                 )
             seen.add(admission.sub_id)
+        plans: Mapping[str, object] | None = None
+        if self.placement == "compiled":
+            # Function-local upward import — the sanctioned lazy idiom
+            # (placement sits above workload in the layer contract).
+            from ..placement import compile_placement
+
+            plans = compile_placement(deployment, admissions, source.events)
         return CompiledProgram(
             deployment=deployment,
             events=source.events,
@@ -377,6 +408,7 @@ class WorkloadProgram:
             span=source.span,
             faults=self.faults,
             reliability=self.reliability,
+            plans=plans,
         )
 
     def _explicit_admissions(self, deployment: Deployment) -> list["Admission"]:
@@ -450,7 +482,9 @@ class ProgramSource:
         shape execution, never the generated replay/pool/edges, so one
         source serves a whole loss sweep.
         """
-        neutral = dict(static_prefix=None, faults=None, reliability=None)
+        neutral = dict(
+            static_prefix=None, faults=None, reliability=None, placement="paper"
+        )
         return (
             replace(self.program, **neutral) == replace(program, **neutral)
             and self.deployment_fingerprint == deployment_fingerprint(deployment)
@@ -495,6 +529,15 @@ class CompiledProgram:
     span: float
     faults: FaultPlan | None = None
     reliability: ReliabilityConfig | None = None
+    plans: Mapping[str, object] | None = None
+
+    def plan_for(self, sub_id: str) -> object | None:
+        """The compiled :class:`~repro.placement.plan.PlacementPlan` for
+        a query, or ``None`` (paper placement / no plan computed) — the
+        null plan registers exactly as every program always has."""
+        if self.plans is None:
+            return None
+        return self.plans.get(sub_id)
 
     @property
     def setup(self) -> tuple[Admission, ...]:
@@ -635,7 +678,9 @@ def execute_program(
     handles: dict[str, "QueryHandle"] = {}
     for admission in compiled.setup:
         handles[admission.sub_id] = session.submit(
-            admission.subscription, at=admission.node_id
+            admission.subscription,
+            at=admission.node_id,
+            plan=compiled.plan_for(admission.sub_id),
         )
     after_setup = session.traffic.snapshot()
     if session.now >= compiled.replay_start:
@@ -667,7 +712,10 @@ def execute_program(
 
     def _admit(admission: Admission) -> None:
         handles[admission.sub_id] = session.submit(
-            admission.subscription, at=admission.node_id, settle=False
+            admission.subscription,
+            at=admission.node_id,
+            settle=False,
+            plan=compiled.plan_for(admission.sub_id),
         )
         counters["admitted"] += 1
 

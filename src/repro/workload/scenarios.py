@@ -14,6 +14,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
+from ..core.filter_split_forward import FSFConfig
 from ..network.faults import FaultPlan, LinkFault
 from ..network.reliability import ReliabilityConfig
 from ..network.topology import (
@@ -22,6 +23,7 @@ from ..network.topology import (
     large_sources,
     medium_scale,
     small_scale,
+    tiered_small_scale,
 )
 from .program import QueryLifecycleConfig, WorkloadProgram
 from .sensorscope import (
@@ -80,9 +82,17 @@ class Scenario:
     ``lifecycle`` adds the Poisson query admit/retire workload on top
     of the measured static prefix; ``faults``/``reliability`` run the
     whole scenario over the seeded unreliable transport with the
-    ack/refresh layer optionally enabled.  All are frozen config
-    dataclasses, so scenarios stay hashable and picklable for the
-    sharded runner's memo keys.
+    ack/refresh layer optionally enabled.  ``placement`` selects the
+    operator-placement mode (``"paper"`` heuristic vs the
+    ``repro.placement`` compiler); ``span_groups`` /
+    ``group_width_scale`` are the generator knobs that give the
+    compiler routing freedom (cross-group queries, skewed
+    selectivities); ``fsf_config`` pins the FSF approach configuration
+    the scenario is measured with (``None`` = registry default) and
+    ``approach_keys`` restricts the measured approaches (``None`` = the
+    usual registry set).  All are frozen config dataclasses, so
+    scenarios stay hashable and picklable for the sharded runner's
+    memo keys.
     """
 
     key: str
@@ -100,6 +110,11 @@ class Scenario:
     reliability: ReliabilityConfig | None = None
     delta_t: float = 5.0
     seed: int = 0
+    placement: str = "paper"
+    span_groups: int = 1
+    group_width_scale: tuple[float, ...] = ()
+    fsf_config: FSFConfig | None = None
+    approach_keys: tuple[str, ...] | None = None
 
     def deployment(self) -> Deployment:
         return self.deployment_factory(self.seed)
@@ -123,6 +138,8 @@ class Scenario:
             attrs_max=self.attrs_max,
             delta_t=self.delta_t,
             seed=self.seed + 17,
+            span_groups=self.span_groups,
+            group_width_scale=self.group_width_scale,
         )
 
     def program(self, max_subscriptions: int) -> WorkloadProgram:
@@ -137,6 +154,7 @@ class Scenario:
             lifecycle=self.lifecycle,
             faults=self.faults,
             reliability=self.reliability,
+            placement=self.placement,
         )
 
     def with_seed(self, seed: int) -> "Scenario":
@@ -231,6 +249,31 @@ event traffic rides the lossy links unprotected, so recall measures
 what the loss actually costs each approach.  Figures 17-18 sweep the
 loss rate (reliability on/off) over this scenario."""
 
+PLACEMENT = Scenario(
+    key="placement",
+    title="Placement (60 tiered nodes, cross-group queries, "
+    "alternating wide/narrow groups, compiled vs paper placement)",
+    deployment_factory=tiered_small_scale,
+    paper_subscription_counts=(100, 300),
+    attrs_min=3,
+    attrs_max=5,
+    span_groups=2,
+    group_width_scale=(4.0, 0.02),
+    fsf_config=FSFConfig(exact_filtering=True),
+    approach_keys=("fsf", "operator_placement", "naive"),
+)
+"""The heterogeneous-architecture family: the small-scale deployment
+with tiered node specs (motes at the edge, base-station group heads, a
+cloud node at the backbone centre) and a skewed cross-group workload —
+every query correlates two neighbouring groups, one with very wide
+filters (a partial-match flood) and one with very narrow ones.  The
+paper heuristic splits operators at the natural divergence node and
+drowns in the wide group's partials; the cost-model compiler delays the
+split toward the wide group's head, gating the flood at the edge.
+Figures 19-20 measure both placements on this scenario.  FSF runs with
+exact filtering so both lanes hold recall at 100% and the traffic axis
+is the only thing that moves."""
+
 ALL_SCENARIOS: dict[str, Scenario] = {
     s.key: s
     for s in (
@@ -241,5 +284,6 @@ ALL_SCENARIOS: dict[str, Scenario] = {
         CHURN,
         ADMIT_RETIRE,
         FAULTS,
+        PLACEMENT,
     )
 }

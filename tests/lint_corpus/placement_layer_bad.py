@@ -1,0 +1,6 @@
+# lint-fixture: expect=layer-violation module=repro.placement.badimport
+from repro.experiments.figures import figure_19
+
+
+def run():
+    return figure_19()

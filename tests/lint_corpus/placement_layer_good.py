@@ -1,0 +1,7 @@
+# lint-fixture: expect=clean module=repro.placement.goodimport
+from repro.network.topology import Deployment
+from repro.workload.subscriptions import SubscriptionWorkloadConfig
+
+
+def stats_inputs(deployment: Deployment, config: SubscriptionWorkloadConfig):
+    return deployment, config

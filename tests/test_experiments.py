@@ -159,17 +159,20 @@ class TestFigureHarness:
     def test_all_figures_registered(self):
         assert sorted(figures.ALL_FIGURES, key=int) == [
             "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14",
-            "15", "16", "17", "18",
+            "15", "16", "17", "18", "19", "20",
         ]
         # The beyond-paper families are gated behind --churn/--beyond
-        # (and --faults for just the unreliable-transport pair) for
-        # bulk targets.
+        # (and --faults / --placement for just their pair) for bulk
+        # targets.
         assert set(figures.CHURN_FIGURES) == {"13", "14"}
         assert set(figures.ADMIT_RETIRE_FIGURES) == {"15", "16"}
         assert set(figures.FAULTS_FIGURES) == {"17", "18"}
+        assert set(figures.PLACEMENT_FIGURES) == {"19", "20"}
         assert set(figures.BEYOND_PAPER_FIGURES) == {
-            "13", "14", "15", "16", "17", "18",
+            "13", "14", "15", "16", "17", "18", "19", "20",
         }
+        # Every beyond-paper figure documents its CLI gate (--list).
+        assert set(figures.FIGURE_GATES) == set(figures.BEYOND_PAPER_FIGURES)
 
     def test_figure_result_render(self):
         result = figures.FigureResult(

@@ -1,0 +1,339 @@
+"""The placement subsystem: architecture graph, cost model, compiler.
+
+Three layers of guarantees:
+
+* **architecture graph** — ``NodeSpec`` validation, the tiered
+  decoration of the small-scale deployment (same graph, same sensors,
+  only ``specs`` differs), and the extended ``Deployment.validate``;
+* **compiler** — plans are deterministic closed-form artefacts:
+  bit-identical across compilations, never modelled worse than the
+  paper heuristic (always a candidate), structurally well-formed
+  (rendezvous on the query's Steiner tree, leaf pieces covering every
+  sensor), and picklable for the sharded runner;
+* **null fence** — ``placement="paper"`` compiles to ``plans=None``
+  and registration without a plan is the pre-placement code path
+  bit-for-bit, for every approach and both matching engines (the
+  hypothesis property below).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api.session import QueryError, Session
+from repro.baselines import (
+    centralized_approach,
+    multijoin_approach,
+    naive_approach,
+    operator_placement_approach,
+)
+from repro.core import FSFConfig, filter_split_forward_approach
+from repro.model import IdentifiedSubscription
+from repro.network.network import Network
+from repro.network.topology import (
+    BASE_STATION_SPEC,
+    CLOUD_SPEC,
+    MOTE_SPEC,
+    Deployment,
+    NodeSpec,
+    small_scale,
+    tiered_small_scale,
+)
+from repro.placement import compile_placement
+from repro.sim import Simulator
+from repro.workload.program import WorkloadProgram
+from repro.workload.scenarios import PLACEMENT
+from repro.workload.subscriptions import SubscriptionWorkloadConfig
+
+from deployments import line_deployment, make_network, publish
+
+
+# ---------------------------------------------------------------------------
+# architecture graph
+# ---------------------------------------------------------------------------
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError, match="unknown tier"):
+        NodeSpec("mainframe")
+    with pytest.raises(ValueError, match="link_bandwidth"):
+        NodeSpec("mote", link_bandwidth=0.0)
+    with pytest.raises(ValueError, match="compute_rate"):
+        NodeSpec("cloud", compute_rate=-1.0)
+
+
+def test_tiered_small_scale_decorates_without_touching_the_topology():
+    plain = small_scale()
+    tiered = tiered_small_scale()
+    assert nx.utils.graphs_equal(plain.graph, tiered.graph)
+    assert plain.sensors == tiered.sensors
+    assert plain.group_heads == tiered.group_heads
+    assert plain.is_homogeneous
+    assert not tiered.is_homogeneous
+    # Every node is assigned; hosts are motes, heads base stations,
+    # exactly one cloud uplink on the backbone.
+    assert set(tiered.specs) == set(tiered.graph.nodes)
+    for host in tiered.sensor_nodes:
+        assert tiered.spec_of(host) == MOTE_SPEC
+    clouds = [n for n, s in tiered.specs.items() if s == CLOUD_SPEC]
+    assert len(clouds) == 1
+    assert clouds[0] in tiered.relay_nodes
+    # Heads are base stations — except one may double as the cloud
+    # uplink (the backbone centre outranks the head role).
+    for head in set(tiered.group_heads.values()) - set(clouds):
+        assert tiered.spec_of(head) == BASE_STATION_SPEC
+
+
+def test_validate_rejects_broken_graphs():
+    base = line_deployment()
+    cyclic = Deployment(
+        graph=base.graph.copy(),
+        sensors=base.sensors,
+        groups=base.groups,
+        relay_nodes=base.relay_nodes,
+        group_heads=base.group_heads,
+        seed=base.seed,
+    )
+    cyclic.graph.add_edge("u2", "hub")
+    with pytest.raises(ValueError, match="acyclic"):
+        cyclic.validate()
+
+    missing_host = Deployment(
+        graph=base.graph.copy(),
+        sensors=base.sensors,
+        groups=base.groups,
+        relay_nodes=base.relay_nodes,
+        group_heads=base.group_heads,
+        seed=base.seed,
+    )
+    missing_host.graph.remove_node("s_c")
+    with pytest.raises(ValueError, match="hosting nodes missing"):
+        missing_host.validate()
+
+    stray_spec = Deployment(
+        graph=base.graph,
+        sensors=base.sensors,
+        groups=base.groups,
+        relay_nodes=base.relay_nodes,
+        group_heads=base.group_heads,
+        seed=base.seed,
+        specs={"no_such_node": NodeSpec()},
+    )
+    with pytest.raises(ValueError, match="unknown nodes"):
+        stray_spec.validate()
+
+
+# ---------------------------------------------------------------------------
+# compiler invariants
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def compiled_placement_point():
+    scenario = replace(PLACEMENT, placement="compiled")
+    program = scenario.program(8)
+    deployment = scenario.deployment()
+    source = program.source(deployment)
+    return deployment, program.with_prefix(8).compile(deployment, source)
+
+
+def test_compiled_program_carries_plans(compiled_placement_point):
+    deployment, compiled = compiled_placement_point
+    assert compiled.plans is not None
+    assert set(compiled.plans) == {a.sub_id for a in compiled.admissions}
+    for admission in compiled.admissions:
+        assert compiled.plan_for(admission.sub_id) is compiled.plans[admission.sub_id]
+
+
+def test_plans_are_structurally_sound(compiled_placement_point):
+    deployment, compiled = compiled_placement_point
+    host_of = {s.sensor_id: s.node_id for s in deployment.sensors}
+    for admission in compiled.admissions:
+        plan = compiled.plans[admission.sub_id]
+        sensors = set(admission.subscription.sensor_ids)
+        # The rendezvous lies on the query's Steiner tree.
+        steiner = {
+            node
+            for s in sensors
+            for node in nx.shortest_path(
+                deployment.graph, admission.node_id, host_of[s]
+            )
+        }
+        assert plan.rendezvous in steiner
+        # Never modelled worse than the paper heuristic.
+        assert plan.cost <= plan.paper_cost
+        # The hop table's leaf pieces cover every sensor: each sensor's
+        # host terminates a piece containing it.
+        for sensor_id in sensors:
+            host = host_of[sensor_id]
+            held = [
+                hop for hop in plan.hops
+                if hop.node_id == host and sensor_id in hop.sensors
+            ]
+            terminal = sensor_id in {
+                s
+                for s in sensors
+                if host_of[s] == host
+            }
+            assert held or terminal
+
+
+def test_compilation_is_bit_identical(compiled_placement_point):
+    deployment, compiled = compiled_placement_point
+    program = replace(PLACEMENT, placement="compiled").program(8)
+    source = program.source(deployment)
+    again = program.with_prefix(8).compile(deployment, source)
+    assert again.plans == compiled.plans
+    for sub_id, plan in compiled.plans.items():
+        other = again.plans[sub_id]
+        # Float bit-identity, not approximate equality.
+        assert (plan.cost, plan.paper_cost) == (other.cost, other.paper_cost)
+
+
+def test_plans_survive_pickling(compiled_placement_point):
+    deployment, compiled = compiled_placement_point
+    for plan in compiled.plans.values():
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        for hop in plan.hops:
+            assert clone.next_hops(hop.node_id, frozenset(hop.sensors)) == tuple(
+                (neighbor, frozenset(subset)) for neighbor, subset in hop.next
+            )
+
+
+# ---------------------------------------------------------------------------
+# gating
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_placement_rejects_churn_and_faults():
+    subs = SubscriptionWorkloadConfig(n_subscriptions=5)
+    from repro.network.faults import FaultPlan
+    from repro.workload.sensorscope import ChurnConfig, DynamicReplayConfig
+
+    with pytest.raises(ValueError, match="churn"):
+        WorkloadProgram(
+            subscriptions=subs,
+            dynamic=DynamicReplayConfig(),
+            churn=ChurnConfig(),
+            placement="compiled",
+        )
+    with pytest.raises(ValueError, match="unreliable transport"):
+        WorkloadProgram(
+            subscriptions=subs, faults=FaultPlan(), placement="compiled"
+        )
+    with pytest.raises(ValueError, match="placement"):
+        WorkloadProgram(subscriptions=subs, placement="optimal")
+
+
+def test_unplannable_approaches_refuse_plans():
+    deployment = line_deployment()
+    sub = IdentifiedSubscription.from_ranges(
+        "q0", {"a": ("t", 0.0, 10.0), "b": ("t", 0.0, 10.0)}, delta_t=5.0
+    )
+    plans = compile_placement(
+        deployment,
+        [type("Adm", (), {"sub_id": "q0", "node_id": "u2", "subscription": sub})()],
+        [],
+    )
+    for approach in (centralized_approach(), multijoin_approach()):
+        session = Session.create(approach=approach, deployment=deployment)
+        with pytest.raises(QueryError, match="placement"):
+            session.submit(sub, at="u2", plan=plans["q0"])
+
+
+# ---------------------------------------------------------------------------
+# the null-plan fence (hypothesis property)
+# ---------------------------------------------------------------------------
+
+APPROACHES = {
+    "naive": naive_approach,
+    "operator_placement": operator_placement_approach,
+    "multijoin": multijoin_approach,
+    "centralized": centralized_approach,
+    "fsf": lambda: filter_split_forward_approach(FSFConfig()),
+}
+
+
+def _run_registrations(approach_key, matching, subs, raw_events, with_kwarg):
+    deployment = line_deployment()
+    network = Network(
+        deployment, Simulator(seed=0), delta_t=5.0, matching=matching
+    )
+    approach = APPROACHES[approach_key]()
+    approach.populate(network)
+    network.attach_all_sensors()
+    network.run_to_quiescence()
+    for sub in subs:
+        if with_kwarg:
+            network.register_subscription("u2", sub, plan=None)
+        else:
+            network.register_subscription("u2", sub)
+    network.run_to_quiescence()
+    t0 = network.sim.now + 10.0
+    for i, (sensor, value, dt) in enumerate(raw_events):
+        publish(network, sensor, value, ts=t0 + dt, seq=i)
+    network.run_to_quiescence()
+    delivered = {
+        sub.sub_id: sorted(network.delivery.delivered(sub.sub_id))
+        for sub in subs
+    }
+    return network.meter.snapshot(), delivered
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    approach_key=st.sampled_from(sorted(APPROACHES)),
+    matching=st.sampled_from(["incremental", "columnar"]),
+    sensors=st.sets(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3),
+    raw_events=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(0, 12, allow_nan=False),
+            st.floats(0, 30, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_null_plan_is_the_legacy_registration_path(
+    approach_key, matching, sensors, raw_events
+):
+    """``plan=None`` must be byte-identical to pre-placement submit.
+
+    Same traffic snapshot, same deliveries, for every approach and
+    both matching engines — the machine check that the placement
+    subsystem is invisible until a plan is actually passed.
+    """
+    subs = [
+        IdentifiedSubscription.from_ranges(
+            "q0", {s: ("t", 0.0, 8.0) for s in sorted(sensors)}, delta_t=5.0
+        )
+    ]
+    legacy = _run_registrations(approach_key, matching, subs, raw_events, False)
+    fenced = _run_registrations(approach_key, matching, subs, raw_events, True)
+    assert legacy == fenced
+
+
+def test_paper_placement_compiles_to_null_plans():
+    """placement="paper" (and the default) never materialises plans."""
+    deployment = PLACEMENT.deployment()
+    assert PLACEMENT.placement == "paper"  # the scenario's default lane
+    paper = WorkloadProgram(
+        subscriptions=PLACEMENT.workload_config(6),
+        replay=PLACEMENT.replay,
+        placement="paper",
+    )
+    source = paper.source(deployment)
+    compiled = paper.with_prefix(6).compile(deployment, source)
+    assert compiled.plans is None
+    assert compiled.plan_for("q00000") is None

@@ -393,7 +393,7 @@ class TestSubscriptionGenerator:
 
 
 class TestScenarios:
-    def test_seven_scenarios_registered(self):
+    def test_eight_scenarios_registered(self):
         assert set(ALL_SCENARIOS) == {
             "small",
             "medium",
@@ -402,6 +402,7 @@ class TestScenarios:
             "churn",
             "admit_retire",
             "faults",
+            "placement",
         }
         churn = ALL_SCENARIOS["churn"]
         # The acceptance floor of the dynamic family: at least two
@@ -420,6 +421,18 @@ class TestScenarios:
         assert faults.faults is not None and faults.faults.default.drop > 0
         assert faults.reliability is not None
         assert faults.include_centralized
+        placement = ALL_SCENARIOS["placement"]
+        # The acceptance floor of the placement family: a tiered
+        # (heterogeneous) deployment, a skewed cross-group workload,
+        # and exact FSF filtering so recall stays pinned at 100% while
+        # the traffic axis moves.
+        assert not placement.deployment_factory(seed=0).is_homogeneous
+        assert placement.span_groups == 2
+        assert placement.group_width_scale is not None
+        wide, narrow = placement.group_width_scale
+        assert wide > 1.0 > narrow
+        assert placement.fsf_config is not None
+        assert placement.fsf_config.exact_filtering
 
     def test_counts_scale(self):
         full = SMALL.subscription_counts(scale=1.0)
