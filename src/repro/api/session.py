@@ -77,6 +77,8 @@ class Session:
         fsf_config=None,
         faults=None,
         reliability=None,
+        answer_mode: str = "exact",
+        sketch=None,
     ) -> "Session":
         """Assemble a ready-to-use session.
 
@@ -93,6 +95,13 @@ class Session:
         ``faults``/``reliability`` switch the network onto the seeded
         unreliable transport (:mod:`repro.network.faults`) and the
         opt-in ack/refresh layer (:mod:`repro.network.reliability`).
+        ``answer_mode="approximate"`` (optionally with a
+        :class:`~repro.sketches.SketchConfig`) turns on the broker
+        sketch lane: single-slot range queries are answered from merged
+        q-digests with a certified error bracket instead of raw events
+        (:meth:`approx_answers`); the default ``"exact"`` is
+        machine-checked bit-identical to a session created without the
+        argument.
         """
         from ..protocols.registry import all_approaches  # local: avoid cycle
 
@@ -106,6 +115,12 @@ class Session:
             resolved = approaches[approach]
         else:
             resolved = approach
+        if answer_mode == "approximate" and not resolved.supports_sketches:
+            raise ValueError(
+                f"approach {resolved.key!r} does not support the "
+                "approximate answer lane (it has no per-subscription "
+                "event forwarding to trade for digest pushes)"
+            )
         if seed is None:
             seed = deployment.seed if deployment is not None else 0
         if deployment is None:
@@ -118,6 +133,8 @@ class Session:
             matching=matching,
             faults=faults,
             reliability=reliability,
+            answer_mode=answer_mode,
+            sketch=sketch,
         )
         resolved.populate(network)
         network.attach_all_sensors()
@@ -375,6 +392,17 @@ class Session:
     def delivery(self):
         """The run's delivery log."""
         return self.network.delivery
+
+    def approx_answers(self):
+        """Certified approximate answers of the sketch lane.
+
+        ``{sub_id: ApproxAnswer}`` for every sketch-eligible query whose
+        push tree has completed at least one round; empty in exact mode
+        (and before the first scheduled round).
+        """
+        if self.network.sketches is None:
+            return {}
+        return dict(self.network.sketches.query_answers())
 
     def active_queries(self) -> list[str]:
         """Ids of the queries currently live."""

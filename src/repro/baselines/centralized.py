@@ -255,4 +255,8 @@ def centralized_approach() -> Approach:
         # Registration unicasts to the centre — there is no operator
         # tree for a compiled plan to route.
         supports_planned_placement=False,
+        # Events stream to the centre regardless of who subscribed, so
+        # suppressing per-subscription forwarding saves nothing — the
+        # approximate lane has no traffic to trade error against.
+        supports_sketches=False,
     )

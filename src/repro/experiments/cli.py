@@ -41,19 +41,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "target",
         nargs="?",
+        # Derived from the figure registry, so a figure registered in
+        # ALL_FIGURES can never be missing from the CLI (the catalog
+        # drift a regression test now pins).
         choices=[
             "table1",
             "table2",
             "fig3",
-            *(f"fig{i}" for i in range(4, 21)),
+            *(f"fig{i}" for i in sorted(figures.ALL_FIGURES, key=int)),
             "all",
             "experiments-md",
         ],
         help="what to regenerate (figs 13-14 are the churn family, "
         "figs 15-16 the query admit/retire family, figs 17-18 the "
-        "unreliable-transport family and figs 19-20 the placement "
-        "family, all beyond the paper); omit with --list to browse "
-        "what exists",
+        "unreliable-transport family, figs 19-20 the placement "
+        "family and figs 21-22 the approximate-answer family, all "
+        "beyond the paper); omit with --list to browse what exists",
     )
     parser.add_argument(
         "--list",
@@ -84,6 +87,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="include just the placement family (figs 19-20, compiled "
         "vs paper operator placement on the tiered deployment) in the "
+        "'all' and 'experiments-md' targets without pulling in the "
+        "other beyond-paper families",
+    )
+    parser.add_argument(
+        "--approx",
+        action="store_true",
+        help="include just the approximate-answer family (figs 21-22, "
+        "exact traffic frontier vs bounded-error sketch lanes) in the "
         "'all' and 'experiments-md' targets without pulling in the "
         "other beyond-paper families",
     )
@@ -163,6 +174,7 @@ def _run(args: argparse.Namespace) -> int:
                 include_churn=args.churn,
                 include_faults=args.faults,
                 include_placement=args.placement,
+                include_approx=args.approx,
             )
         )
     else:  # all
@@ -171,8 +183,14 @@ def _run(args: argparse.Namespace) -> int:
         out.append(run_fig3_walkthrough().render())
         for fig_id in sorted(figures.ALL_FIGURES, key=int):
             if fig_id in figures.BEYOND_PAPER_FIGURES and not args.churn:
-                if not (args.faults and fig_id in figures.FAULTS_FIGURES) and not (
-                    args.placement and fig_id in figures.PLACEMENT_FIGURES
+                if (
+                    not (args.faults and fig_id in figures.FAULTS_FIGURES)
+                    and not (
+                        args.placement and fig_id in figures.PLACEMENT_FIGURES
+                    )
+                    and not (
+                        args.approx and fig_id in figures.SKETCHES_FIGURES
+                    )
                 ):
                     continue
             out.append(_figure_command(fig_id, args.scale))

@@ -54,6 +54,13 @@ PAPER_CLAIMS = {
     "20": "Beyond the paper — the safety half of fig 19: with exact "
     "FSF filtering every lane holds 100% recall, so the compiled "
     "placement's traffic savings are free of result loss.",
+    "21": "Beyond the paper — accuracy-vs-traffic: broker-resident "
+    "q-digest lanes answer single-slot range queries from merged "
+    "summaries pushed at round intervals, spending strictly fewer "
+    "total units than every exact approach at the largest point.",
+    "22": "Beyond the paper — the accuracy half of fig 21: certified "
+    "count accuracy per digest resolution, with every observed rank "
+    "error inside the deterministic q-digest bound (zero violations).",
 }
 
 
@@ -62,6 +69,7 @@ def build_experiments_md(
     include_churn: bool = False,
     include_faults: bool = False,
     include_placement: bool = False,
+    include_approx: bool = False,
 ) -> str:
     """Run everything and render the paper-vs-measured record.
 
@@ -110,10 +118,15 @@ def build_experiments_md(
     ]
     for fig_id in sorted(figures.ALL_FIGURES, key=int):
         if fig_id in figures.BEYOND_PAPER_FIGURES and not include_churn:
-            if not (
-                include_faults and fig_id in figures.FAULTS_FIGURES
-            ) and not (
-                include_placement and fig_id in figures.PLACEMENT_FIGURES
+            if (
+                not (include_faults and fig_id in figures.FAULTS_FIGURES)
+                and not (
+                    include_placement
+                    and fig_id in figures.PLACEMENT_FIGURES
+                )
+                and not (
+                    include_approx and fig_id in figures.SKETCHES_FIGURES
+                )
             ):
                 continue
         result = figures.ALL_FIGURES[fig_id](eff_scale)

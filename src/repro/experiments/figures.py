@@ -30,10 +30,12 @@ from ..workload.scenarios import (
     MEDIUM,
     PLACEMENT,
     SCALE_PRESETS,
+    SKETCHES,
     SMALL,
     Scenario,
     default_scale,
 )
+from ..sketches import SketchConfig
 from .parallel import clear_worker_caches, default_workers, run_series_parallel
 from .runner import SeriesResult, run_series
 
@@ -585,6 +587,121 @@ def figure_20(scale: float | None = None) -> FigureResult:
     )
 
 
+SKETCH_K_AXIS = (16, 64, 256)
+"""The digest-resolution axis of the sketch family: q-digest
+compression parameter ``k`` (``eps = levels / k``), one approximate
+lane per value.  Small ``k`` folds aggressively (cheap pushes, loose
+bound); large ``k`` keeps nearly every bucket (tight bound)."""
+
+
+def sketches_variant(k: int) -> Scenario:
+    """The ``sketches`` scenario answered approximately at resolution
+    ``k`` (own cache key).
+
+    One lane suffices per ``k``: sketch-eligible queries bypass the
+    exact pipeline entirely, so every supporting approach produces the
+    same lane traffic — FSF stands in for all of them.  The push
+    interval and bucket packing are pinned here so the lanes stay
+    comparable across ``k``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return replace(
+        SKETCHES,
+        key=f"sketches@{k}",
+        answer_mode="approximate",
+        sketch=SketchConfig(k=k, push_interval=240.0, buckets_per_unit=6),
+        approach_keys=("fsf",),
+    )
+
+
+def _sketch_runs(scale: float | None) -> tuple[SeriesResult, dict[int, SeriesResult]]:
+    exact = scenario_series(SKETCHES, scale)
+    approx = {
+        k: scenario_series(sketches_variant(k), scale) for k in SKETCH_K_AXIS
+    }
+    return exact, approx
+
+
+def figure_21(scale: float | None = None) -> FigureResult:
+    """Accuracy-vs-traffic, the traffic half — beyond the paper.
+
+    The sketch family: a single-attribute workload (every query a
+    sketch-eligible single-slot range filter) over a long replay.  The
+    five exact approaches form the frontier; one approximate lane per
+    q-digest resolution ``k`` answers the same queries from merged
+    broker digests pushed at round intervals instead of forwarding raw
+    readings.  At the largest point every approximate lane must spend
+    strictly fewer total units than every exact approach — the
+    benchmark gate machine-checks exactly that inequality.
+    """
+    exact, approx = _sketch_runs(scale)
+    series: dict[str, tuple[float, ...]] = {}
+    for key in exact.results:
+        series[f"{APPROACH_LABELS.get(key, key)} (exact)"] = tuple(
+            _total_units(r) for r in exact.results[key]
+        )
+    for k in SKETCH_K_AXIS:
+        series[f"Approximate lane (k={k})"] = tuple(
+            _total_units(r) for r in approx[k].results["fsf"]
+        )
+    frontier = min(
+        _total_units(runs[-1]) for runs in exact.results.values()
+    )
+    ratios = ", ".join(
+        f"k={k}: {_total_units(approx[k].results['fsf'][-1]) / frontier:.3f}"
+        for k in SKETCH_K_AXIS
+    )
+    return FigureResult(
+        "21",
+        "Total traffic (units), exact frontier vs approximate lanes",
+        "Number of subscriptions",
+        tuple(exact.counts),
+        series,
+        notes="Approximate/cheapest-exact total-unit ratio at the "
+        f"largest point: {ratios}.  Lane traffic = push-tree setup on "
+        "the subscription channel + digest pushes on the event channel.",
+    )
+
+
+def figure_22(scale: float | None = None) -> FigureResult:
+    """Accuracy-vs-traffic, the accuracy half — beyond the paper.
+
+    What figure 21's savings cost: exact lanes report end-user event
+    recall; approximate lanes report the oracle-checked count accuracy
+    of their certified range answers (symmetric min/max ratio of
+    estimate vs true count, 100% = every estimate exact).  The oracle
+    also re-checks every certificate — observed rank error within the
+    deterministic q-digest bound, zero violations tolerated.
+    """
+    exact, approx = _sketch_runs(scale)
+    series: dict[str, tuple[float, ...]] = {}
+    for key in exact.results:
+        series[f"{APPROACH_LABELS.get(key, key)} (exact)"] = tuple(
+            round(100 * r.recall, 1) for r in exact.results[key]
+        )
+    for k in SKETCH_K_AXIS:
+        series[f"Approximate lane (k={k})"] = tuple(
+            round(100 * r.approx_mean_recall, 1)
+            for r in approx[k].results["fsf"]
+        )
+    errors = ", ".join(
+        f"k={k}: max |err| {approx[k].results['fsf'][-1].approx_max_error} "
+        f"({approx[k].results['fsf'][-1].approx_bound_violations} violations)"
+        for k in SKETCH_K_AXIS
+    )
+    return FigureResult(
+        "22",
+        "Answer accuracy (%), exact recall vs certified approximate counts",
+        "Number of subscriptions",
+        tuple(exact.counts),
+        series,
+        notes="Observed rank error vs the q-digest guarantee at the "
+        f"largest point: {errors}.  A non-zero violation count would "
+        "mean a certificate lied; the benchmark gate asserts zero.",
+    )
+
+
 ALL_FIGURES = {
     "4": figure_4,
     "5": figure_5,
@@ -603,6 +720,8 @@ ALL_FIGURES = {
     "18": figure_18,
     "19": figure_19,
     "20": figure_20,
+    "21": figure_21,
+    "22": figure_22,
 }
 
 CHURN_FIGURES = ("13", "14")
@@ -618,8 +737,16 @@ PLACEMENT_FIGURES = ("19", "20")
 """The heterogeneous-architecture family (placement compiler) —
 beyond the paper."""
 
+SKETCHES_FIGURES = ("21", "22")
+"""The accuracy-vs-traffic family (approximate answer lane) —
+beyond the paper."""
+
 BEYOND_PAPER_FIGURES = (
-    CHURN_FIGURES + ADMIT_RETIRE_FIGURES + FAULTS_FIGURES + PLACEMENT_FIGURES
+    CHURN_FIGURES
+    + ADMIT_RETIRE_FIGURES
+    + FAULTS_FIGURES
+    + PLACEMENT_FIGURES
+    + SKETCHES_FIGURES
 )
 """Figures past the paper's 4-12 set, gated behind the CLI's
 ``--beyond`` (né ``--churn``) flag for the ``all`` / ``experiments-md``
@@ -630,6 +757,7 @@ FIGURE_GATES: dict[str, str] = {
     **{fid: "--beyond (alias --churn)" for fid in ADMIT_RETIRE_FIGURES},
     **{fid: "--faults (or --beyond)" for fid in FAULTS_FIGURES},
     **{fid: "--placement (or --beyond)" for fid in PLACEMENT_FIGURES},
+    **{fid: "--approx (or --beyond)" for fid in SKETCHES_FIGURES},
 }
 """Which CLI flag unlocks each gated figure under the ``all`` /
 ``experiments-md`` targets (dedicated ``figN`` targets always run)."""
@@ -652,6 +780,8 @@ FIGURE_SCENARIOS: dict[str, str] = {
     "18": "faults (loss sweep, reliability on)",
     "19": "placement (compiled vs paper lanes)",
     "20": "placement (compiled vs paper lanes)",
+    "21": "sketches (exact frontier vs approximate lanes)",
+    "22": "sketches (exact frontier vs approximate lanes)",
 }
 """Which scenario family feeds each figure — the ``--list`` catalog."""
 
@@ -720,6 +850,10 @@ def render_catalog() -> str:
     if PLACEMENT_FIGURES:
         lines.append(
             f"  placement lanes (figs 19-20): {list(PLACEMENT_MODES)}"
+        )
+    if SKETCHES_FIGURES:
+        lines.append(
+            f"  digest-resolution axis (figs 21-22): {list(SKETCH_K_AXIS)}"
         )
     lines += ["", "Scale presets", "============="]
     for name, value in sorted(SCALE_PRESETS.items(), key=lambda kv: kv[1]):

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from ..metrics.approx import churn_fences, measure_approx
 from ..metrics.oracle import SubscriptionTruth
 from ..metrics.recall import measure_recall
 from ..model.events import SimpleEvent
@@ -76,6 +77,16 @@ class RunResult:
     units its soft-state refresh rounds carried, ``dropped_messages``
     the transmissions the fault plan lost.  Fault-free runs measure 0
     on all three.
+
+    The approximate lane (``answer_mode="approximate"`` programs):
+    ``sketch_load`` is the subset of the standard channels the lane's
+    own messages carried (tree setup on the subscription channel, push
+    rounds on the event channel — already *included* in
+    ``subscription_load``/``event_load``, never added on top);
+    ``approx_queries``/``approx_mean_recall``/``approx_max_error``/
+    ``approx_bound_violations`` summarise the oracle pass over the
+    certified answers.  Exact-mode runs measure 0 everywhere and keep
+    ``approx_mean_recall`` at its vacuous 0.0 default.
     """
 
     approach: str
@@ -98,6 +109,11 @@ class RunResult:
     retransmission_load: int = 0
     refresh_load: int = 0
     dropped_messages: int = 0
+    sketch_load: int = 0
+    approx_queries: int = 0
+    approx_mean_recall: float = 0.0
+    approx_max_error: int = 0
+    approx_bound_violations: int = 0
 
 
 def run_program(
@@ -131,6 +147,9 @@ def run_program(
     sub_traffic = execution.after_setup.minus(after_ads)
     event_traffic = execution.final.minus(execution.after_setup)
     teardown = event_traffic.teardown_units
+    approx = measure_approx(
+        network, compiled.events, churn_fences(compiled.churn)
+    )
     return RunResult(
         approach=approach.key,
         n_subscriptions=len(compiled.admissions),
@@ -153,6 +172,11 @@ def run_program(
         retransmission_load=execution.final.retransmission_units,
         refresh_load=execution.final.refresh_units,
         dropped_messages=execution.final.dropped_messages,
+        sketch_load=execution.final.sketch_units,
+        approx_queries=approx.queries,
+        approx_mean_recall=approx.mean_recall if approx.stats else 0.0,
+        approx_max_error=approx.max_observed_error,
+        approx_bound_violations=approx.bound_violations,
     )
 
 

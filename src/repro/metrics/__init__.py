@@ -1,5 +1,6 @@
 """Metrics: traffic loads, the offline oracle, recall and reports."""
 
+from .approx import ApproxReport, ApproxStats, churn_fences, measure_approx
 from .oracle import (
     ORACLE_ENV_VAR,
     ORACLE_METHODS,
@@ -20,7 +21,11 @@ from .report import (
 )
 
 __all__ = [
+    "ApproxReport",
+    "ApproxStats",
     "EventIndex",
+    "churn_fences",
+    "measure_approx",
     "ORACLE_ENV_VAR",
     "ORACLE_METHODS",
     "RecallReport",

@@ -12,7 +12,10 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..sketches.messages import SketchPushMessage, SketchSubscribeMessage
 from .messages import Message, UnsubscribeMessage
+
+_SKETCH_MESSAGES = (SketchSubscribeMessage, SketchPushMessage)
 
 LinkId = tuple[str, str]
 """Directed link: (sender node id, receiver node id)."""
@@ -29,8 +32,11 @@ class TrafficSnapshot:
     ``retransmission_units`` and ``refresh_units`` are likewise subsets
     (units re-sent by the reliability layer's ack timers, and units
     carried by soft-state refresh rounds): the reliability overhead
-    figure 18 plots.  ``dropped_messages`` counts transmissions the
-    fault lane lost (or that arrived at a crashed broker).
+    figure 18 plots.  ``sketch_units`` is the approximate lane's share
+    (group registrations on the subscription channel, digest pushes on
+    the event channel) — figures 21-22 split it out the same way.
+    ``dropped_messages`` counts transmissions the fault lane lost (or
+    that arrived at a crashed broker).
     """
 
     subscription_units: int
@@ -41,6 +47,7 @@ class TrafficSnapshot:
     retransmission_units: int = 0
     refresh_units: int = 0
     dropped_messages: int = 0
+    sketch_units: int = 0
 
     def minus(self, baseline: "TrafficSnapshot") -> "TrafficSnapshot":
         """Traffic accumulated since ``baseline`` was taken."""
@@ -53,6 +60,7 @@ class TrafficSnapshot:
             self.retransmission_units - baseline.retransmission_units,
             self.refresh_units - baseline.refresh_units,
             self.dropped_messages - baseline.dropped_messages,
+            self.sketch_units - baseline.sketch_units,
         )
 
 
@@ -68,6 +76,7 @@ class TrafficMeter:
         self.retransmission_units = 0
         self.refresh_units = 0
         self.dropped_messages = 0
+        self.sketch_units = 0
         self.per_link: Counter[LinkId] = Counter()
         self.per_link_events: Counter[LinkId] = Counter()
         self.per_link_subscriptions: Counter[LinkId] = Counter()
@@ -102,6 +111,8 @@ class TrafficMeter:
             self.retransmission_units += sub + evt + adv
         if getattr(message, "refresh_epoch", None) is not None:
             self.refresh_units += sub + adv
+        if isinstance(message, _SKETCH_MESSAGES):
+            self.sketch_units += sub + evt
         self.per_link[link] += sub + evt + adv
         if evt:
             self.per_link_events[link] += evt
@@ -122,6 +133,7 @@ class TrafficMeter:
             self.retransmission_units,
             self.refresh_units,
             self.dropped_messages,
+            self.sketch_units,
         )
 
     def busiest_links(self, n: int = 5) -> list[tuple[LinkId, int]]:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from ..model.advertisements import Advertisement
 from ..model.events import SimpleEvent
 from ..model.operators import CorrelationOperator
+from ..sketches.messages import SketchPushMessage, SketchSubscribeMessage
 
 
 @dataclass(frozen=True, slots=True)
@@ -147,4 +148,11 @@ class EventMessage:
         return 0
 
 
-Message = AdvertisementMessage | OperatorMessage | EventMessage | UnsubscribeMessage
+Message = (
+    AdvertisementMessage
+    | OperatorMessage
+    | EventMessage
+    | UnsubscribeMessage
+    | SketchSubscribeMessage
+    | SketchPushMessage
+)

@@ -20,6 +20,7 @@ from .faults import FaultPlan
 from .links import TrafficMeter
 from .messages import EventMessage, Message, OperatorMessage
 from .reliability import ReliabilityConfig, Transport
+from ..sketches import SketchConfig, SketchLane
 from .routing import RoutingTable, graph_center
 from .topology import Deployment
 
@@ -112,9 +113,29 @@ class Network:
         matching: str = "incremental",
         faults: FaultPlan | None = None,
         reliability: ReliabilityConfig | None = None,
+        answer_mode: str = "exact",
+        sketch: "SketchConfig | None" = None,
     ) -> None:
         if matching not in ("incremental", "columnar", "reference"):
             raise ValueError(f"unknown matching mode {matching!r}")
+        if answer_mode not in ("exact", "approximate"):
+            raise ValueError(
+                f"answer_mode must be 'exact' or 'approximate', "
+                f"got {answer_mode!r}"
+            )
+        if answer_mode == "exact" and sketch is not None:
+            raise ValueError(
+                "a sketch config requires answer_mode='approximate'"
+            )
+        if answer_mode == "approximate" and (
+            faults is not None or reliability is not None
+        ):
+            raise ValueError(
+                "the approximate lane cannot ride the unreliable "
+                "transport: digest pushes assume lossless in-order "
+                "delivery (a lost push would silently widen the error "
+                "past the certified bound)"
+            )
         self.deployment = deployment
         self.sim = sim if sim is not None else Simulator(seed=deployment.seed)
         self.latency = latency
@@ -155,6 +176,16 @@ class Network:
         self.transport: Transport | None = (
             Transport(self, self.faults, reliability)
             if (bool(self.faults) or reliability is not None)
+            else None
+        )
+        # Approximate answer lane: only built when asked for.  The
+        # default exact mode leaves ``sketches`` None and every hook in
+        # the node/event path fenced off — byte-identical runs, same
+        # null-fence pattern as the transport above.
+        self.answer_mode = answer_mode
+        self.sketches: SketchLane | None = (
+            SketchLane(sketch if sketch is not None else SketchConfig())
+            if answer_mode == "approximate"
             else None
         )
         # Open delivery batch for the plain (fault-free) send path:
@@ -347,6 +378,12 @@ class Network:
                 "layer: soft-state refresh re-offers operator pieces "
                 "without their plan, which would misroute them"
             )
+        if self.sketches is not None:
+            raise ValueError(
+                "compiled placement plans cannot be combined with the "
+                "approximate answer lane: eligible subscriptions bypass "
+                "operator placement entirely"
+            )
         self.nodes[node_id].subscribe(subscription, plan)
 
     def inject_subscription(self, node_id: str, subscription: Subscription) -> None:
@@ -463,6 +500,38 @@ class Network:
         if node_id in self.down:
             return
         self.nodes[node_id].refresh_soft_state(epoch, expiry_rounds)
+
+    def schedule_sketch_rounds(
+        self, times: Iterable[tuple[float, int]]
+    ) -> int:
+        """Schedule digest push rounds at ``(absolute time, round no)``.
+
+        Each round ticks every broker (sorted order, one agenda entry
+        per broker, priority 1 — so a reading stamped at the round
+        instant is folded in before the round pushes, the same
+        tie-break churn and refresh use): leaves of every push tree
+        send their merged local summaries upstream, interior brokers
+        then merge and relay as the pushes arrive.  A finite timeline,
+        never self-rescheduling, so quiescence still exists.  Requires
+        ``answer_mode='approximate'``.
+        """
+        if self.sketches is None:
+            raise ValueError(
+                "sketch rounds require Network(answer_mode='approximate')"
+            )
+        entries = []
+        for time, round_no in times:
+            for node_id in sorted(self.nodes):
+                entries.append(
+                    (
+                        time,
+                        lambda n=node_id, r=round_no: self.sketches.begin_round(
+                            self.nodes[n], r
+                        ),
+                    )
+                )
+        self.sim.schedule_timeline(entries, priority=1)
+        return len(entries)
 
     # ------------------------------------------------------------------
     def run_to_quiescence(self, max_events: int | None = None) -> float:

@@ -33,6 +33,7 @@ from ..model.subscriptions import (
     IdentifiedSubscription,
     Subscription,
 )
+from ..sketches.messages import SketchPushMessage, SketchSubscribeMessage
 from ..subsumption.pairwise import find_cover
 from .messages import (
     AdvertisementMessage,
@@ -392,6 +393,10 @@ class Node:
                 self.handle_operator(message.operator, origin)
         elif isinstance(message, UnsubscribeMessage):
             self.handle_unsubscribe(message.subscription_id, origin)
+        elif isinstance(message, SketchSubscribeMessage):
+            self.network.sketches.handle_subscribe(self, message, origin)
+        elif isinstance(message, SketchPushMessage):
+            self.network.sketches.handle_push(self, message, origin)
         elif isinstance(message, AdvertisementMessage):
             if message.refresh_epoch is not None and not message.retract:
                 self.handle_refresh_advertisement(
@@ -469,6 +474,9 @@ class Node:
         local event fence on the way.
         """
         self.store.unfence_sensor(advertisement.sensor_id)
+        lane = self.network.sketches
+        if lane is not None:
+            lane.unfence_sensor(self.node_id, advertisement.sensor_id)
         if not self.ads.add_local(advertisement):
             return
         for neighbor in self.neighbors:
@@ -499,6 +507,9 @@ class Node:
 
     def publish(self, event: SimpleEvent) -> None:
         """A locally attached sensor produced a reading."""
+        lane = self.network.sketches
+        if lane is not None:
+            lane.observe_local(self.node_id, event)
         self.handle_event(event, LOCAL, ())
 
     def subscribe(
@@ -518,6 +529,12 @@ class Node:
         root = self.build_root_operator(subscription)
         if root is None:
             self.network.dropped_subscriptions.append(subscription.sub_id)
+            return
+        lane = self.network.sketches
+        if lane is not None and lane.adopt(self, subscription, root):
+            # Sketch-eligible in approximate mode: the lane answers it
+            # from merged summaries — no operator flood, no matcher,
+            # no raw event forwarding for this subscription.
             return
         self.local_subscriptions.append((subscription, root))
         # The whole root operator drives the final local check even when
@@ -596,6 +613,9 @@ class Node:
         locally registered (never submitted here, dropped for absent
         sources, or already cancelled).
         """
+        lane = self.network.sketches
+        if lane is not None and lane.forget(self.node_id, sub_id):
+            return True
         removed = [
             entry for entry in self.local_subscriptions if entry[0].sub_id == sub_id
         ]
@@ -721,6 +741,9 @@ class Node:
         again.
         """
         self.store.unfence_sensor(advertisement.sensor_id)
+        lane = self.network.sketches
+        if lane is not None:
+            lane.unfence_sensor(self.node_id, advertisement.sensor_id)
         if not self.ads.add(origin, advertisement):
             return
         for neighbor in self.neighbors:
@@ -753,9 +776,14 @@ class Node:
     def fence_sensor_state(self, sensor_id: str) -> None:
         """Drop a departed sensor's events from ``U`` and the per-event
         forwarded-to flags (the matching engine mirrors the drop through
-        the store's listener protocol)."""
+        the store's listener protocol).  The sketch lane mirrors the
+        fence too, so the next push round ages the sensor out of every
+        merged digest and approximate answers never count it."""
         for key in self.store.fence_sensor(sensor_id, self.now):
             self._sent.pop(key, None)
+        lane = self.network.sketches
+        if lane is not None:
+            lane.fence_sensor(self.node_id, sensor_id, self.now)
 
     # ------------------------------------------------------------------
     # soft state & crash semantics (reliability layer)

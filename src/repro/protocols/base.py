@@ -38,6 +38,7 @@ class Approach:
     floods_advertisements: bool = True
     deterministic_recall: bool = True
     supports_planned_placement: bool = True
+    supports_sketches: bool = True
     config: object = None
 
     def populate(self, network: "Network") -> "Network":

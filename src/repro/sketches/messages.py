@@ -1,0 +1,85 @@
+"""Wire messages of the sketch lane.
+
+Defined here (below the network layer) so :class:`SketchLane` can
+construct them; the network layer imports them into its ``Message``
+union and its traffic meter.  Both expose the same three unit
+properties every message carries — the meter additionally tracks their
+sum as the ``sketch_units`` subset so the figures can split the lane's
+bill out of the shared channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .multires import MultiResolution
+    from .qdigest import QDigest
+
+
+@dataclass(frozen=True, slots=True)
+class SketchSubscribeMessage:
+    """Establishes one hop of a sketch group's push tree.
+
+    Flooded from a subscription's home node toward the group's sensors
+    along the reverse advertisement paths (the same deterministic split
+    operator registration uses); each receiving broker records the
+    sender as its upstream for the group and forwards per-origin
+    pieces onward.  Costs one subscription unit per link, like any
+    other registration message.
+    """
+
+    group_id: str
+    attribute: str
+    sensors: frozenset[str]
+    home: str
+
+    @property
+    def subscription_units(self) -> int:
+        return 1
+
+    @property
+    def event_units(self) -> int:
+        return 0
+
+    @property
+    def advertisement_units(self) -> int:
+        return 0
+
+    @property
+    def sketch_units(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True, slots=True)
+class SketchPushMessage:
+    """One round's merged summary travelling one hop up a push tree.
+
+    ``units`` is the data-unit cost the sender computed from the
+    summary's bucket count (``SketchConfig.buckets_per_unit`` buckets
+    fit the payload of one event-sized data unit); it bills the event
+    channel — pushes replace raw event forwarding, so they must pay on
+    the same meter the figures compare.
+    """
+
+    group_id: str
+    round_no: int
+    summary: "QDigest | MultiResolution"
+    units: int
+
+    @property
+    def subscription_units(self) -> int:
+        return 0
+
+    @property
+    def event_units(self) -> int:
+        return self.units
+
+    @property
+    def advertisement_units(self) -> int:
+        return 0
+
+    @property
+    def sketch_units(self) -> int:
+        return self.units

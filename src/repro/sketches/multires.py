@@ -1,0 +1,161 @@
+"""Coarse multiresolution count estimator (Meliou et al. style).
+
+A fixed stack of dyadic histograms over the value domain — one grid
+per configured resolution level, ``2**r`` cells each.  Unlike the
+q-digest, the size is a constant of the configuration (never of the
+stream length), which makes it the cheap companion estimator for wide
+scans: a range query reads the coarsest grids for the bulk of its span
+and only the finest grid near the boundaries.
+
+Same algebra contract as :class:`~repro.sketches.qdigest.QDigest`:
+frozen, picklable, comparable by value, and mergeable by exact integer
+vector addition (associative and commutative).  The error contract is
+*unquantized*: for a closed query ``[vlo, vhi]``, values in finest-grid
+cells strictly between the two boundary cells are certainly inside the
+range (floor-quantization is monotone), the two boundary cells are the
+only uncertainty — so ``lower <= true <= upper`` holds against the raw
+count with no grid-alignment caveat, at the price of a data-dependent
+(not a-priori) certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+_MAX_RESOLUTION = 20
+
+
+@dataclass(frozen=True, slots=True)
+class MultiResolution:
+    """Dyadic histogram stack over ``[lo, hi]`` at fixed resolutions."""
+
+    resolutions: tuple[int, ...]
+    lo: float
+    hi: float
+    n: int = 0
+    grids: tuple[tuple[int, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.resolutions:
+            raise ValueError("at least one resolution level is required")
+        if list(self.resolutions) != sorted(set(self.resolutions)):
+            raise ValueError(
+                f"resolutions must be strictly increasing, "
+                f"got {self.resolutions!r}"
+            )
+        if not 1 <= self.resolutions[-1] <= _MAX_RESOLUTION:
+            raise ValueError(
+                f"resolutions must lie in [1, {_MAX_RESOLUTION}], "
+                f"got {self.resolutions!r}"
+            )
+        if not self.hi > self.lo:
+            raise ValueError(f"domain [{self.lo!r}, {self.hi!r}] is empty")
+        if not self.grids:
+            object.__setattr__(
+                self,
+                "grids",
+                tuple((0,) * (1 << r) for r in self.resolutions),
+            )
+        for r, grid in zip(self.resolutions, self.grids):
+            if len(grid) != 1 << r:
+                raise ValueError(
+                    f"grid for resolution {r} has {len(grid)} cells, "
+                    f"expected {1 << r}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total stored counters — a constant of the configuration."""
+        return sum(len(grid) for grid in self.grids)
+
+    @property
+    def finest(self) -> int:
+        return self.resolutions[-1]
+
+    quantized = False
+    """Bounds hold against the raw (unquantized) range count."""
+
+    def cell(self, value: float, resolution: int | None = None) -> int:
+        """The cell holding ``value`` at ``resolution`` (default finest)."""
+        r = self.finest if resolution is None else resolution
+        cells = 1 << r
+        c = int((value - self.lo) * cells / (self.hi - self.lo))
+        if c < 0:
+            return 0
+        if c >= cells:
+            return cells - 1
+        return c
+
+    # ------------------------------------------------------------------
+    def extended(self, values: Iterable[float]) -> "MultiResolution":
+        """This estimator plus ``values`` counted at every resolution."""
+        grids = [list(grid) for grid in self.grids]
+        added = 0
+        for value in values:
+            for i, r in enumerate(self.resolutions):
+                grids[i][self.cell(value, r)] += 1
+            added += 1
+        if not added:
+            return self
+        return replace(
+            self,
+            n=self.n + added,
+            grids=tuple(tuple(grid) for grid in grids),
+        )
+
+    def merged(self, other: "MultiResolution") -> "MultiResolution":
+        """Exact elementwise sum — associative and commutative."""
+        if (self.resolutions, self.lo, self.hi) != (
+            other.resolutions,
+            other.lo,
+            other.hi,
+        ):
+            raise ValueError(
+                "cannot merge estimators with different grids: "
+                f"{(self.resolutions, self.lo, self.hi)} vs "
+                f"{(other.resolutions, other.lo, other.hi)}"
+            )
+        return replace(
+            self,
+            n=self.n + other.n,
+            grids=tuple(
+                tuple(a + b for a, b in zip(mine, theirs))
+                for mine, theirs in zip(self.grids, other.grids)
+            ),
+        )
+
+    def compressed(self) -> "MultiResolution":
+        """No-op: the stack is already a fixed-size summary."""
+        return self
+
+    # ------------------------------------------------------------------
+    def range_count_bounds(self, vlo: float, vhi: float) -> tuple[int, int]:
+        """``(lower, upper)`` bracket of the raw count in ``[vlo, vhi]``.
+
+        Finest-grid cells strictly between the boundary cells are
+        certain (floor quantization is monotone, so their values lie
+        strictly between ``vlo`` and ``vhi``); the boundary cells are
+        the uncertainty.
+        """
+        if vhi < vlo:
+            return 0, 0
+        grid = self.grids[-1]
+        c_lo = self.cell(vlo)
+        c_hi = self.cell(vhi)
+        uncertain = grid[c_lo]
+        if c_hi != c_lo:
+            uncertain += grid[c_hi]
+        certain = sum(grid[c_lo + 1 : c_hi])
+        return certain, certain + uncertain
+
+    def estimate_range(self, vlo: float, vhi: float) -> int:
+        lower, upper = self.range_count_bounds(vlo, vhi)
+        return lower + (upper - lower) // 2
+
+    @property
+    def error_bound(self) -> int:
+        """Worst-case half-width: the two heaviest finest cells."""
+        heaviest = sorted(self.grids[-1])[-2:]
+        return sum(heaviest) - sum(heaviest) // 2

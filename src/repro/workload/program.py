@@ -51,6 +51,7 @@ from ..network.faults import FaultPlan
 from ..network.reliability import ReliabilityConfig
 from ..network.topology import Deployment
 from ..seeding import derive_seed
+from ..sketches import SketchConfig
 from .sensorscope import (
     ChurnConfig,
     ChurnSchedule,
@@ -237,12 +238,34 @@ class WorkloadProgram:
     reliability: ReliabilityConfig | None = None
     replay_start: float = REPLAY_START
     placement: str = "paper"
+    answer_mode: str = "exact"
+    sketch: SketchConfig | None = None
 
     def __post_init__(self) -> None:
         if self.placement not in ("paper", "compiled"):
             raise ValueError(
                 f"placement must be 'paper' or 'compiled', got {self.placement!r}"
             )
+        if self.answer_mode not in ("exact", "approximate"):
+            raise ValueError(
+                f"answer_mode must be 'exact' or 'approximate', "
+                f"got {self.answer_mode!r}"
+            )
+        if self.sketch is not None and self.answer_mode != "approximate":
+            raise ValueError(
+                "a sketch config requires answer_mode='approximate'"
+            )
+        if self.answer_mode == "approximate":
+            if self.faults is not None or self.reliability is not None:
+                raise ValueError(
+                    "the approximate lane assumes lossless in-order "
+                    "delivery; it cannot ride the unreliable transport"
+                )
+            if self.placement == "compiled":
+                raise ValueError(
+                    "compiled placement routes exact operator trees; "
+                    "it cannot be combined with answer_mode='approximate'"
+                )
         if self.placement == "compiled":
             if self.churn is not None:
                 raise ValueError(
@@ -409,6 +432,8 @@ class WorkloadProgram:
             faults=self.faults,
             reliability=self.reliability,
             plans=plans,
+            answer_mode=self.answer_mode,
+            sketch=self.sketch,
         )
 
     def _explicit_admissions(self, deployment: Deployment) -> list["Admission"]:
@@ -483,7 +508,12 @@ class ProgramSource:
         source serves a whole loss sweep.
         """
         neutral = dict(
-            static_prefix=None, faults=None, reliability=None, placement="paper"
+            static_prefix=None,
+            faults=None,
+            reliability=None,
+            placement="paper",
+            answer_mode="exact",
+            sketch=None,
         )
         return (
             replace(self.program, **neutral) == replace(program, **neutral)
@@ -530,6 +560,8 @@ class CompiledProgram:
     faults: FaultPlan | None = None
     reliability: ReliabilityConfig | None = None
     plans: Mapping[str, object] | None = None
+    answer_mode: str = "exact"
+    sketch: SketchConfig | None = None
 
     def plan_for(self, sub_id: str) -> object | None:
         """The compiled :class:`~repro.placement.plan.PlacementPlan` for
@@ -672,6 +704,8 @@ def execute_program(
         delta_t=delta_t,
         faults=compiled.faults,
         reliability=compiled.reliability,
+        answer_mode=compiled.answer_mode,
+        sketch=compiled.sketch,
     )
     after_ads = session.traffic.snapshot()
 
@@ -707,6 +741,23 @@ def execute_program(
             epoch += 1
         if rounds:
             session.network.schedule_refresh(rounds)
+    if session.network.sketches is not None:
+        # Push rounds across the replay span, plus one closing round
+        # after it: the final answers postdate every event and every
+        # churn transition, so cumulative summaries reflect the full
+        # (fenced) stream.
+        interval = session.network.sketches.config.push_interval
+        sketch_rounds = []
+        round_no = 1
+        while round_no * interval <= compiled.span:
+            sketch_rounds.append(
+                (compiled.replay_start + round_no * interval, round_no)
+            )
+            round_no += 1
+        sketch_rounds.append(
+            (compiled.replay_start + compiled.span + interval, round_no)
+        )
+        session.network.schedule_sketch_rounds(sketch_rounds)
 
     counters = {"admitted": 0, "retired": 0}
 

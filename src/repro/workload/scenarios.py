@@ -25,6 +25,7 @@ from ..network.topology import (
     small_scale,
     tiered_small_scale,
 )
+from ..sketches import SketchConfig
 from .program import QueryLifecycleConfig, WorkloadProgram
 from .sensorscope import (
     ChurnConfig,
@@ -115,6 +116,8 @@ class Scenario:
     group_width_scale: tuple[float, ...] = ()
     fsf_config: FSFConfig | None = None
     approach_keys: tuple[str, ...] | None = None
+    answer_mode: str = "exact"
+    sketch: SketchConfig | None = None
 
     def deployment(self) -> Deployment:
         return self.deployment_factory(self.seed)
@@ -155,6 +158,8 @@ class Scenario:
             faults=self.faults,
             reliability=self.reliability,
             placement=self.placement,
+            answer_mode=self.answer_mode,
+            sketch=self.sketch,
         )
 
     def with_seed(self, seed: int) -> "Scenario":
@@ -274,6 +279,28 @@ Figures 19-20 measure both placements on this scenario.  FSF runs with
 exact filtering so both lanes hold recall at 100% and the traffic axis
 is the only thing that moves."""
 
+SKETCHES = Scenario(
+    key="sketches",
+    title="Sketches (60 nodes, single-slot range queries over a long "
+    "replay, exact frontier vs the approximate answer lane)",
+    deployment_factory=small_scale,
+    paper_subscription_counts=(100, 300),
+    attrs_min=1,
+    attrs_max=1,
+    include_centralized=True,
+    replay=ReplayConfig(rounds=96),
+)
+"""The accuracy-vs-traffic family: the small-scale deployment under a
+single-attribute workload, so every query is a single-slot range filter
+— exactly the sketch-eligible class — over a 96-round replay (the
+regime where a bounded-size digest beats shipping every reading).  The
+five exact approaches form the traffic frontier; figure 21's
+approximate lanes re-run the same scenario with
+``answer_mode="approximate"`` at several q-digest resolutions
+(``sketches_variant``), trading bounded rank error for push-round
+traffic strictly below that frontier.  Figure 22 reports the accuracy
+side of the same trade."""
+
 ALL_SCENARIOS: dict[str, Scenario] = {
     s.key: s
     for s in (
@@ -285,5 +312,6 @@ ALL_SCENARIOS: dict[str, Scenario] = {
         ADMIT_RETIRE,
         FAULTS,
         PLACEMENT,
+        SKETCHES,
     )
 }

@@ -1,0 +1,6 @@
+# lint-fixture: expect=layer-violation module=repro.sketches.badimport
+from repro.network.links import TrafficMeter
+
+
+def meter():
+    return TrafficMeter()

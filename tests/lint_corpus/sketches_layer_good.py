@@ -1,0 +1,11 @@
+# lint-fixture: expect=clean module=repro.sketches.goodimport
+"""Good twin of sketches_layer_bad: the sketch layer sits above model
+and below network, so the value model is fair game while anything
+network-flavoured must arrive through the node hooks instead."""
+
+from repro.model.events import SimpleEvent
+from repro.model.intervals import Interval
+
+
+def in_range(event: SimpleEvent, interval: Interval) -> bool:
+    return interval.contains(event.value)

@@ -135,6 +135,20 @@ class TestCli:
         with pytest.raises(SystemExit):
             cli_main([])
 
+    def test_cli_choices_track_figure_registry(self, capsys, monkeypatch):
+        """Registering a figure is sufficient to make it a CLI target.
+
+        The choices list is derived from ``ALL_FIGURES`` at parse time,
+        so the catalog can never drift ahead of the CLI again (fig21/22
+        were the near-miss that motivated this).
+        """
+        stub = lambda scale=None: figures.FigureResult(  # noqa: E731
+            "98", "stub", "x", (1,), {"fsf": (0.0,)}
+        )
+        monkeypatch.setitem(figures.ALL_FIGURES, "98", stub)
+        assert cli_main(["fig98"]) == 0
+        assert "Figure 98" in capsys.readouterr().out
+
     def test_admit_retire_figure_targets(self, capsys, monkeypatch):
         """fig15/fig16 render at smoke scale with teardown traffic
         reported separately from registration (one admit rate here;
@@ -159,20 +173,32 @@ class TestFigureHarness:
     def test_all_figures_registered(self):
         assert sorted(figures.ALL_FIGURES, key=int) == [
             "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14",
-            "15", "16", "17", "18", "19", "20",
+            "15", "16", "17", "18", "19", "20", "21", "22",
         ]
         # The beyond-paper families are gated behind --churn/--beyond
-        # (and --faults / --placement for just their pair) for bulk
-        # targets.
+        # (and --faults / --placement / --approx for just their pair)
+        # for bulk targets.
         assert set(figures.CHURN_FIGURES) == {"13", "14"}
         assert set(figures.ADMIT_RETIRE_FIGURES) == {"15", "16"}
         assert set(figures.FAULTS_FIGURES) == {"17", "18"}
         assert set(figures.PLACEMENT_FIGURES) == {"19", "20"}
+        assert set(figures.SKETCHES_FIGURES) == {"21", "22"}
         assert set(figures.BEYOND_PAPER_FIGURES) == {
-            "13", "14", "15", "16", "17", "18", "19", "20",
+            "13", "14", "15", "16", "17", "18", "19", "20", "21", "22",
         }
         # Every beyond-paper figure documents its CLI gate (--list).
         assert set(figures.FIGURE_GATES) == set(figures.BEYOND_PAPER_FIGURES)
+
+    def test_catalog_covers_every_figure(self):
+        """The anti-drift contract: every registered figure has a
+        scenario blurb, and every beyond-paper figure names its gate
+        flag — a figure can't be registered but undiscoverable."""
+        assert set(figures.FIGURE_SCENARIOS) == set(figures.ALL_FIGURES)
+        catalog = figures.render_catalog()
+        for fig_id in figures.ALL_FIGURES:
+            assert f"fig{fig_id}:" in catalog
+        for fig_id, gate in figures.FIGURE_GATES.items():
+            assert gate.startswith("--")
 
     def test_figure_result_render(self):
         result = figures.FigureResult(
